@@ -1,0 +1,387 @@
+// Repository-level benchmarks: one per table and figure of the paper's
+// evaluation, plus the validation experiments and the ablation studies
+// DESIGN.md calls out. Each benchmark regenerates its artifact from a
+// shared cached study (built once per `go test -bench` run) and reports
+// the artifact's headline number as a custom metric, so a bench run
+// doubles as a compact reproduction check:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crawler"
+	"repro/internal/exchange"
+	"repro/internal/httpsim"
+	"repro/internal/jsengine"
+	"repro/internal/report"
+	"repro/internal/scanner"
+	"repro/internal/simrand"
+	"repro/internal/web"
+)
+
+// benchScale keeps the shared study fast (~2.5k URLs) while preserving
+// the paper-calibrated percentages.
+const benchScale = 400
+
+var (
+	studyOnce sync.Once
+	study     *core.Study
+	studyErr  error
+)
+
+func benchStudy(b *testing.B) *core.Study {
+	b.Helper()
+	studyOnce.Do(func() {
+		cfg := core.DefaultStudyConfig()
+		cfg.Seed = 1
+		cfg.Scale = benchScale
+		cfg.MinMalPerPool = 14
+		cfg.MinBenignPerPool = 25
+		study, studyErr = core.RunStudy(cfg)
+	})
+	if studyErr != nil {
+		b.Fatal(studyErr)
+	}
+	return study
+}
+
+// BenchmarkTable1 regenerates the per-exchange URL statistics (Table I)
+// by re-running classification + detection + aggregation over the cached
+// crawl records.
+func BenchmarkTable1(b *testing.B) {
+	st := benchStudy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var a *core.Analysis
+	for i := 0; i < b.N; i++ {
+		a = st.Analyzer.Analyze(st.Crawls)
+		_ = report.Table1(a)
+	}
+	b.ReportMetric(a.OverallPctMalicious()*100, "%malicious")
+}
+
+// BenchmarkTable2 regenerates the per-exchange domain statistics.
+func BenchmarkTable2(b *testing.B) {
+	st := benchStudy(b)
+	a := st.Analysis
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = report.Table2(a)
+	}
+	domains := 0
+	for _, row := range a.PerExchange {
+		domains += row.Domains
+	}
+	b.ReportMetric(float64(domains), "domains")
+}
+
+// BenchmarkTable3 regenerates the malware categorization.
+func BenchmarkTable3(b *testing.B) {
+	st := benchStudy(b)
+	a := st.Analysis
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = report.Table3(a)
+	}
+	b.ReportMetric(a.CategoryCounts.Share(string(core.CatBlacklisted))*100, "%blacklisted")
+}
+
+// BenchmarkTable4 regenerates the shortened-URL hit statistics join.
+func BenchmarkTable4(b *testing.B) {
+	st := benchStudy(b)
+	a := st.Analysis
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		s := a.ShortURLStats(st.Universe.Shorteners)
+		_ = report.Table4(s)
+		rows = len(s)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// BenchmarkFigure2 renders the malware-ratio bars.
+func BenchmarkFigure2(b *testing.B) {
+	st := benchStudy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = report.Figure2(st.Analysis)
+	}
+}
+
+// BenchmarkFigure3 renders the cumulative time series with burst
+// detection across all nine exchanges.
+func BenchmarkFigure3(b *testing.B) {
+	st := benchStudy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = report.Figure3(st.Analysis)
+	}
+	bursts := 0
+	for _, row := range st.Analysis.PerExchange {
+		s := st.Analysis.Series[row.Name]
+		w := s.Len() / 20
+		if w < 1 {
+			w = 1
+		}
+		bursts += len(s.Bursts(w, 3))
+	}
+	b.ReportMetric(float64(bursts), "bursts")
+}
+
+// BenchmarkFigure4 walks the longest planted redirect chain (the Figure 4
+// case study) end to end, including the meta-refresh hop.
+func BenchmarkFigure4(b *testing.B) {
+	st := benchStudy(b)
+	var site *web.Site
+	for _, s := range st.Universe.SitesOfKind(web.Redirector) {
+		if site == nil || s.ChainLen > site.ChainLen {
+			site = s
+		}
+	}
+	client := crawler.NewClient(st.Universe.Internet)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var hops int
+	for i := 0; i < b.N; i++ {
+		res, err := client.Get(site.EntryURL, crawler.BrowserUA, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		hops = res.Redirects()
+	}
+	b.ReportMetric(float64(hops), "redirects")
+}
+
+// BenchmarkFigure5 regenerates the redirect-count distribution.
+func BenchmarkFigure5(b *testing.B) {
+	st := benchStudy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = report.Figure5(st.Analysis)
+	}
+	b.ReportMetric(float64(st.Analysis.RedirectHist.Max()), "max-redirects")
+}
+
+// BenchmarkFigure6 regenerates the TLD breakdown.
+func BenchmarkFigure6(b *testing.B) {
+	st := benchStudy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = report.Figure6(st.Analysis)
+	}
+	b.ReportMetric(st.Analysis.TLDCounts.Share("com")*100, "%com")
+}
+
+// BenchmarkFigure7 regenerates the content-category breakdown.
+func BenchmarkFigure7(b *testing.B) {
+	st := benchStudy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = report.Figure7(st.Analysis)
+	}
+	b.ReportMetric(st.Analysis.ContentCategories.Share("Business")*100, "%business")
+}
+
+// BenchmarkGoldStandard reproduces the §III-B tool vetting over a
+// 20-sample gold set.
+func BenchmarkGoldStandard(b *testing.B) {
+	st := benchStudy(b)
+	client := crawler.NewClient(st.Universe.Internet)
+	var gold []scanner.GoldSample
+	for _, kind := range []web.MaliceKind{web.MaliciousJS, web.Miscellaneous, web.Blacklisted} {
+		for _, site := range st.Universe.SitesOfKind(kind) {
+			if len(gold) >= 20 {
+				break
+			}
+			res, err := client.Get(site.EntryURL, crawler.BrowserUA, "")
+			if err != nil {
+				b.Fatal(err)
+			}
+			gold = append(gold, scanner.GoldSample{URL: res.FinalURL, Content: res.Final.Body})
+		}
+	}
+	tools := []scanner.Tool{scanner.AsTool(st.Detector.Multi, 2)}
+	for name, coverage := range scanner.StandardToolCoverages {
+		tools = append(tools, scanner.NewWeakTool(name, st.Universe.Feed, coverage, 77))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var top float64
+	for i := 0; i < b.N; i++ {
+		res := scanner.Vet(tools, gold)
+		top = res[0].Accuracy()
+	}
+	b.ReportMetric(top*100, "%top-tool")
+}
+
+// BenchmarkCampaign reproduces the §IV paid-campaign validation purchase
+// (2,500 visits) against a dummy site.
+func BenchmarkCampaign(b *testing.B) {
+	st := benchStudy(b)
+	st.Universe.Internet.Register("bench-dummy.sim", func(req *httpsim.Request) *httpsim.Response {
+		return httpsim.HTML("<html>dummy</html>")
+	})
+	var manual *exchange.Exchange
+	for _, ex := range st.Exchanges {
+		if ex.Config().Kind == exchange.ManualSurf {
+			manual = ex
+			break
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rec *exchange.CampaignReceipt
+	for i := 0; i < b.N; i++ {
+		rec = manual.BuyCampaign(st.Universe.Internet, "http://bench-dummy.sim/", 2500, 5.00)
+	}
+	b.ReportMetric(float64(rec.DeliveredVisits), "visits")
+	b.ReportMetric(float64(rec.UniqueIPs), "unique-ips")
+}
+
+// --- ablations (DESIGN.md "design choices worth ablating") ---
+
+// BenchmarkAblationCloaking compares detection with the anti-cloaking
+// local-file scan (the paper's mitigation) against URL-only scanning.
+func BenchmarkAblationCloaking(b *testing.B) {
+	st := benchStudy(b)
+	for _, mode := range []struct {
+		name     string
+		fileScan bool
+	}{
+		{"file-scan", true},
+		{"url-only", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			det := *st.Detector
+			det.FileScan = mode.fileScan
+			an := &core.Analyzer{Classifier: st.Analyzer.Classifier, Detector: &det}
+			b.ResetTimer()
+			var a *core.Analysis
+			for i := 0; i < b.N; i++ {
+				a = an.Analyze(st.Crawls)
+			}
+			b.ReportMetric(float64(a.TotalMalicious), "detected")
+		})
+	}
+}
+
+// BenchmarkAblationConsensus sweeps the blacklist consensus threshold
+// (the paper uses >= 2 lists to suppress stale-list false positives).
+func BenchmarkAblationConsensus(b *testing.B) {
+	st := benchStudy(b)
+	for _, threshold := range []int{1, 2, 3} {
+		b.Run(map[int]string{1: "any-list", 2: "two-lists", 3: "three-lists"}[threshold], func(b *testing.B) {
+			fp, hits := 0, 0
+			benign := st.Universe.BenignSites()
+			bad := st.Universe.SitesOfKind(web.Blacklisted)
+			old := st.Universe.Blacklists.Threshold
+			st.Universe.Blacklists.Threshold = threshold
+			defer func() { st.Universe.Blacklists.Threshold = old }()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fp, hits = 0, 0
+				for _, s := range benign {
+					if st.Universe.Blacklists.Malicious(s.Host) {
+						fp++
+					}
+				}
+				for _, s := range bad {
+					if st.Universe.Blacklists.Malicious(s.Host) {
+						hits++
+					}
+				}
+			}
+			b.ReportMetric(float64(hits)/float64(len(bad))*100, "%recall")
+			b.ReportMetric(float64(fp), "false-positives")
+		})
+	}
+}
+
+// BenchmarkAblationSandbox compares JS analysis with and without the
+// sandbox on an obfuscated injector — the static-only configuration
+// cannot see the injected iframe at all.
+func BenchmarkAblationSandbox(b *testing.B) {
+	payload := `document.write('<iframe src="http://hidden-payload.sim/x" width="1" height="1"></iframe>');`
+	obf := payload
+	for i := 0; i < 2; i++ {
+		obf = `eval(unescape("` + jsengine.Escape(obf) + `"));`
+	}
+	page := []byte(`<html><script>` + obf + `</script></html>`)
+	for _, mode := range []struct {
+		name    string
+		sandbox bool
+	}{
+		{"sandbox", true},
+		{"static-only", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			h := scanner.NewHeuristic()
+			h.Sandbox = mode.sandbox
+			b.ReportAllocs()
+			b.ResetTimer()
+			found := 0
+			for i := 0; i < b.N; i++ {
+				f := h.ScanPage("http://site.sim/", "text/html", page)
+				found = len(f.HiddenIframes)
+			}
+			b.ReportMetric(float64(found), "iframes-found")
+		})
+	}
+}
+
+// BenchmarkAblationNesting measures shortened-URL chain resolution as the
+// nesting depth grows — the evasion §IV-A-5 describes.
+func BenchmarkAblationNesting(b *testing.B) {
+	st := benchStudy(b)
+	svcs := st.Universe.Shorteners.Services()
+	if len(svcs) == 0 {
+		b.Skip("no shortener services")
+	}
+	for _, depth := range []int{1, 2, 4, 8} {
+		b.Run(map[int]string{1: "depth-1", 2: "depth-2", 4: "depth-4", 8: "depth-8"}[depth], func(b *testing.B) {
+			target := "http://final-target.sim/payload"
+			alias := target
+			for i := 0; i < depth; i++ {
+				alias = svcs[i%len(svcs)].Shorten(alias)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				chain, ok := st.Universe.Shorteners.ResolveChain(alias, 16)
+				if !ok || chain[len(chain)-1] != target {
+					b.Fatal("chain resolution failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFullStudy measures the complete end-to-end reproduction
+// (universe + crawl + analysis) at bench scale.
+func BenchmarkFullStudy(b *testing.B) {
+	cfg := core.DefaultStudyConfig()
+	cfg.Scale = 900
+	cfg.DriveShortenerTraffic = false
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		if _, err := core.RunStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var _ = simrand.New // anchor shared import usage across build configs

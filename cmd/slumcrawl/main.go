@@ -1,0 +1,91 @@
+// Command slumcrawl builds the simulated universe, crawls the nine traffic
+// exchanges, and writes the raw measurement dataset: a JSONL record stream
+// (with page bodies) plus optional per-exchange HAR archives — the data
+// collection half of the study (§III-A). cmd/slumscan runs the analysis
+// half over the emitted dataset.
+//
+// Usage:
+//
+//	slumcrawl [-seed N] [-scale N] -out dataset.jsonl [-hardir DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/har"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "slumcrawl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("slumcrawl", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "experiment seed")
+	scale := fs.Int("scale", 20, "divide paper crawl volumes by this factor")
+	out := fs.String("out", "dataset.jsonl", "output dataset path")
+	harDir := fs.String("hardir", "", "directory for per-exchange HAR archives (optional)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := core.DefaultStudyConfig()
+	cfg.Seed = *seed
+	cfg.Scale = *scale
+	st, err := core.NewStudy(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "crawling %d exchanges (seed=%d scale=%d)...\n",
+		len(st.Exchanges), cfg.Seed, cfg.Scale)
+	if err := st.Run(); err != nil {
+		return err
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := core.WriteDataset(f, st.Crawls); err != nil {
+		return err
+	}
+	total := 0
+	for _, c := range st.Crawls {
+		total += len(c.Records)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", total, *out)
+
+	if *harDir != "" {
+		if err := os.MkdirAll(*harDir, 0o755); err != nil {
+			return err
+		}
+		for _, c := range st.Crawls {
+			if c.HAR == nil {
+				continue
+			}
+			name := strings.ToLower(strings.ReplaceAll(c.Exchange, " ", "-")) + ".har"
+			hf, err := os.Create(filepath.Join(*harDir, name))
+			if err != nil {
+				return err
+			}
+			if err := har.Encode(hf, c.HAR); err != nil {
+				hf.Close()
+				return err
+			}
+			if err := hf.Close(); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "wrote HAR archives to %s\n", *harDir)
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCrawlAndArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ds.jsonl")
+	harDir := filepath.Join(dir, "hars")
+	if err := run([]string{"-scale", "900", "-seed", "4", "-out", out, "-hardir", harDir}); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(out)
+	if err != nil || fi.Size() == 0 {
+		t.Fatalf("dataset missing or empty: %v", err)
+	}
+	hars, err := filepath.Glob(filepath.Join(harDir, "*.har"))
+	if err != nil || len(hars) != 9 {
+		t.Fatalf("HAR archives = %d (%v), want 9", len(hars), err)
+	}
+}
+
+func TestBadOutputPath(t *testing.T) {
+	if err := run([]string{"-scale", "900", "-out", "/nonexistent-dir/x/ds.jsonl"}); err == nil {
+		t.Fatal("unwritable output accepted")
+	}
+}
+
+func TestMain(m *testing.M) {
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err == nil {
+		os.Stderr = null
+	}
+	os.Exit(m.Run())
+}

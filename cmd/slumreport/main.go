@@ -1,0 +1,89 @@
+// Command slumreport runs the full reproduction end to end — universe
+// generation, nine-exchange crawl, detection, aggregation — and prints
+// every table and figure of the paper's evaluation.
+//
+// Usage:
+//
+//	slumreport [-seed N] [-scale N] [-table N] [-figure N]
+//
+// With no -table/-figure selection, everything is printed. -scale divides
+// the paper's crawl volumes (default 20: ~50k URLs, seconds of runtime;
+// -scale 1 replays the full 1,003,087-URL crawl).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "slumreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("slumreport", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "experiment seed")
+	scale := fs.Int("scale", 20, "divide paper crawl volumes by this factor")
+	table := fs.Int("table", 0, "print only this table (1-4)")
+	figure := fs.Int("figure", 0, "print only this figure (2, 3, 5, 6, 7)")
+	asJSON := fs.Bool("json", false, "emit every table and figure as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *scale <= 0 {
+		return fmt.Errorf("scale must be positive, got %d", *scale)
+	}
+	cfg := core.DefaultStudyConfig()
+	cfg.Seed = *seed
+	cfg.Scale = *scale
+	fmt.Fprintf(os.Stderr, "running study: seed=%d scale=%d (~%d URLs)...\n",
+		cfg.Seed, cfg.Scale, 1003087/cfg.Scale)
+	st, err := core.RunStudy(cfg)
+	if err != nil {
+		return err
+	}
+	a := st.Analysis
+
+	if *asJSON {
+		return report.WriteJSON(os.Stdout, a, a.ShortURLStats(st.Universe.Shorteners))
+	}
+
+	sections := []struct {
+		table, figure int
+		render        func() string
+	}{
+		{0, 0, func() string { return report.Headline(a) }},
+		{1, 0, func() string { return report.Table1(a) }},
+		{2, 0, func() string { return report.Table2(a) }},
+		{3, 0, func() string { return report.Table3(a) }},
+		{4, 0, func() string { return report.Table4(a.ShortURLStats(st.Universe.Shorteners)) }},
+		{0, 2, func() string { return report.Figure2(a) }},
+		{0, 3, func() string { return report.Figure3(a) }},
+		{0, 5, func() string { return report.Figure5(a) }},
+		{0, 6, func() string { return report.Figure6(a) }},
+		{0, 7, func() string { return report.Figure7(a) }},
+	}
+	selected := *table != 0 || *figure != 0
+	printed := false
+	for _, s := range sections {
+		if selected {
+			if s.table != *table || s.figure != *figure {
+				continue
+			}
+		}
+		fmt.Println(s.render())
+		printed = true
+	}
+	if !printed {
+		return fmt.Errorf("nothing matches -table %d -figure %d", *table, *figure)
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunSelectedTable(t *testing.T) {
+	// Scale 900 keeps the smoke test to a couple of seconds.
+	if err := run([]string{"-scale", "900", "-seed", "3", "-table", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSelectedFigure(t *testing.T) {
+	if err := run([]string{"-scale", "900", "-seed", "3", "-figure", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoMatch(t *testing.T) {
+	if err := run([]string{"-scale", "900", "-table", "9"}); err == nil {
+		t.Fatal("bogus table selection accepted")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-scale", "not-a-number"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-scale", "0"}); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+}
+
+func TestMain(m *testing.M) {
+	// Silence the study's progress line during tests.
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err == nil {
+		os.Stderr = null
+	}
+	os.Exit(m.Run())
+}
+
+func TestRunJSON(t *testing.T) {
+	if err := run([]string{"-scale", "900", "-seed", "3", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+// Command slumserve mounts the whole simulated universe — exchanges,
+// member sites, malware infrastructure, shorteners — on a real HTTP
+// listener with Host-header routing, so a human can poke it with curl or
+// a browser:
+//
+//	slumserve -addr 127.0.0.1:8080
+//	curl -H 'Host: 10khits.sim'  http://127.0.0.1:8080/
+//	curl -H 'Host: goo.gl.sim'   http://127.0.0.1:8080/b
+//
+// It prints a directory of interesting hosts (one malicious site per
+// category) before serving.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/httpsim"
+	"repro/internal/web"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "slumserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("slumserve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	seed := fs.Uint64("seed", 1, "experiment seed")
+	scale := fs.Int("scale", 50, "universe scale divisor")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := core.DefaultStudyConfig()
+	cfg.Seed = *seed
+	cfg.Scale = *scale
+	cfg.DriveShortenerTraffic = false
+	st, err := core.NewStudy(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("universe: %d sites, %d hosts registered\n",
+		len(st.Universe.Sites), st.Universe.Internet.NumHosts())
+	fmt.Println("\nexchanges:")
+	for _, ex := range st.Exchanges {
+		fmt.Printf("  curl -H 'Host: %s' http://%s/    # %s (%s)\n",
+			ex.Config().Host, *addr, ex.Config().Name, ex.Config().Kind)
+	}
+	fmt.Println("\none malicious site per category:")
+	for _, kind := range []web.MaliceKind{
+		web.Blacklisted, web.MaliciousJS, web.MaliciousFlash,
+		web.Redirector, web.ShortenedMalicious, web.Miscellaneous,
+	} {
+		sites := st.Universe.SitesOfKind(kind)
+		if len(sites) == 0 {
+			continue
+		}
+		fmt.Printf("  %-20s %s\n", kind.String()+":", sites[0].EntryURL)
+	}
+	fmt.Printf("\nlistening on %s (route with the Host header)\n", *addr)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpsim.AsHTTPHandler(st.Universe.Internet),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return srv.ListenAndServe()
+}

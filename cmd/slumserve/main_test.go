@@ -1,0 +1,87 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/httpsim"
+)
+
+// TestServeHandler mounts the universe the way slumserve does and drives
+// it over a real listener with Host-header routing.
+func TestServeHandler(t *testing.T) {
+	cfg := core.DefaultStudyConfig()
+	cfg.Seed = 2
+	cfg.Scale = 900
+	cfg.DriveShortenerTraffic = false
+	st, err := core.NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(httpsim.AsHTTPHandler(st.Universe.Internet))
+	defer srv.Close()
+
+	get := func(host, path string) (int, string) {
+		req, err := http.NewRequest("GET", srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Host = host
+		client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		}}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	// Exchange homepage serves its surf bar.
+	exHost := st.Exchanges[0].Config().Host
+	code, body := get(exHost, "/")
+	if code != 200 || !strings.Contains(body, "surf-frame") {
+		t.Fatalf("exchange homepage: code=%d body=%q", code, body[:min(len(body), 80)])
+	}
+
+	// A member site serves content.
+	site := st.Universe.BenignSites()[0]
+	code, body = get(site.Host, "/")
+	if code != 200 || !strings.Contains(body, "<html>") {
+		t.Fatalf("member site: code=%d", code)
+	}
+
+	// Unknown hosts surface the NXDOMAIN analog as a gateway error.
+	code, _ = get("no-such-host.sim", "/")
+	if code != http.StatusBadGateway {
+		t.Fatalf("unknown host code = %d, want 502", code)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-scale", "nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestMain(m *testing.M) {
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err == nil {
+		os.Stdout = null
+	}
+	os.Exit(m.Run())
+}

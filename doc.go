@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "Malware Slums:
+// Measurement and Analysis of Malware on Traffic Exchanges" (DSN 2016).
+//
+// The library simulates the complete measurement stack — a synthetic web
+// universe with a planted malware population, nine auto-surf/manual-surf
+// traffic exchanges, a capturing crawler, and the VirusTotal/Quttera/
+// blacklist detection pipeline — and regenerates every table and figure
+// of the paper's evaluation. See README.md for the tour, DESIGN.md for
+// the system inventory, and EXPERIMENTS.md for paper-vs-measured results.
+//
+// The root package only anchors the repository-level benchmarks in
+// bench_test.go; the implementation lives under internal/ and the
+// executables under cmd/.
+package repro

@@ -1,0 +1,87 @@
+// Goldstandard: reproduces the §III-B tool-vetting experiment.
+//
+// The study vetted eight malware detection services against a gold
+// standard set of known malware before settling on VirusTotal and
+// Quttera: VirusTotal and Quttera detected 100%, URLQuery ~70%,
+// Bright Cloud 60%, Site Check 40%, Sender Base 10%, and Wepawet and
+// AVG Threat Lab 0%. This example builds a gold set by downloading
+// known-malicious pages from the simulated universe, runs every tool
+// analog over it, and prints the accuracy ranking.
+//
+//	go run ./examples/goldstandard
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/crawler"
+	"repro/internal/scanner"
+	"repro/internal/simrand"
+	"repro/internal/web"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ucfg := web.DefaultConfig()
+	ucfg.Seed = 33
+	ucfg.BenignSites = 60
+	ucfg.MaliciousSites = 100
+	universe := web.Generate(ucfg)
+
+	// Build the gold standard: downloaded content of known-malicious
+	// pages (the Xing et al. sample analog). We deliberately pick sites
+	// whose maliciousness lives in the page content, as the original
+	// gold set did.
+	client := crawler.NewClient(universe.Internet)
+	var gold []scanner.GoldSample
+	for _, kind := range []web.MaliceKind{web.MaliciousJS, web.Miscellaneous, web.Blacklisted} {
+		for _, site := range universe.SitesOfKind(kind) {
+			if len(gold) >= 20 {
+				break
+			}
+			res, err := client.Get(site.EntryURL, crawler.BrowserUA, "")
+			if err != nil {
+				return err
+			}
+			gold = append(gold, scanner.GoldSample{URL: res.FinalURL, Content: res.Final.Body})
+		}
+	}
+	fmt.Printf("gold standard: %d known-malicious samples\n\n", len(gold))
+
+	// The tool lineup.
+	rng := simrand.New(5)
+	multi := scanner.NewMultiEngine(rng, universe.Feed, scanner.DefaultMultiEngineConfig())
+	heur := scanner.NewHeuristic()
+	heur.ResourceFetcher = universe.Internet
+	tools := []scanner.Tool{
+		scanner.AsTool(multi, 2),
+		scanner.HeuristicAsTool(heur),
+	}
+	for name, coverage := range scanner.StandardToolCoverages {
+		tools = append(tools, scanner.NewWeakTool(name, universe.Feed, coverage, 77))
+	}
+
+	results := scanner.Vet(tools, gold)
+	fmt.Println("tool vetting results (paper: VT 100, Quttera 100, URLQuery 70,")
+	fmt.Println("Bright Cloud 60, Site Check 40, Sender Base 10, Wepawet 0, AVG 0):")
+	fmt.Println()
+	for _, r := range results {
+		fmt.Printf("  %-14s %3d/%d  %s %.0f%%\n",
+			r.Tool, r.Detected, r.Total, bar(r.Accuracy()), r.Accuracy()*100)
+	}
+	fmt.Println("\nconclusion: only the multi-engine scanner and the heuristic scanner")
+	fmt.Println("clear the bar — the same selection the study made.")
+	return nil
+}
+
+func bar(frac float64) string {
+	n := int(frac*24 + 0.5)
+	return "[" + strings.Repeat("#", n) + strings.Repeat(".", 24-n) + "]"
+}

@@ -1,0 +1,168 @@
+package blacklist
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/simrand"
+)
+
+func TestListBasics(t *testing.T) {
+	l := NewList("test")
+	l.Add("luckyleap.net")
+	l.Add("WWW.380TL.COM") // host normalizes to registered domain
+	if !l.Contains("luckyleap.net") {
+		t.Fatal("listed domain not found")
+	}
+	if !l.Contains("sub.luckyleap.net") {
+		t.Fatal("subdomain of listed domain not matched")
+	}
+	if !l.Contains("380tl.com") {
+		t.Fatal("case/host normalization failed")
+	}
+	if l.Contains("example.com") {
+		t.Fatal("unlisted domain matched")
+	}
+	if l.Len() != 2 {
+		t.Fatalf("len = %d, want 2", l.Len())
+	}
+}
+
+func TestConsensusThreshold(t *testing.T) {
+	a, b, c := NewList("a"), NewList("b"), NewList("c")
+	a.Add("evil.example")
+	b.Add("evil.example")
+	a.Add("lonely.example") // only one list: below consensus
+	s := NewSet(a, b, c)
+
+	if !s.Malicious("evil.example") {
+		t.Fatal("2-list domain not flagged")
+	}
+	if s.Malicious("lonely.example") {
+		t.Fatal("1-list domain flagged despite threshold 2")
+	}
+	if got := s.Matches("evil.example"); len(got) != 2 {
+		t.Fatalf("matches = %v", got)
+	}
+	s.Threshold = 1
+	if !s.Malicious("lonely.example") {
+		t.Fatal("threshold-1 set must flag single-list domain")
+	}
+}
+
+func TestMaliciousURL(t *testing.T) {
+	a, b := NewList("a"), NewList("b")
+	a.Add("yadro.ru")
+	b.Add("yadro.ru")
+	s := NewSet(a, b)
+	if !s.MaliciousURL("http://counter.yadro.ru/hit?q=1") {
+		t.Fatal("URL host not matched")
+	}
+	if s.MaliciousURL("not a url ::") {
+		t.Fatal("unparseable URL flagged")
+	}
+}
+
+func domainList(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%d.example", prefix, i)
+	}
+	return out
+}
+
+func TestBuildStandardSetRecallAndPrecision(t *testing.T) {
+	rng := simrand.New(42)
+	bad := domainList("bad", 500)
+	benign := domainList("ok", 2000)
+	s := BuildStandardSet(rng, bad, benign, DefaultBuildConfig())
+
+	if got := len(s.Lists()); got != len(StandardListNames) {
+		t.Fatalf("lists = %d", got)
+	}
+	tp := 0
+	for _, d := range bad {
+		if s.Malicious(d) {
+			tp++
+		}
+	}
+	recall := float64(tp) / float64(len(bad))
+	// With coverage .75 across 6 lists, P(>=2 lists) is essentially 1.
+	if recall < 0.95 {
+		t.Fatalf("consensus recall = %v, want > 0.95", recall)
+	}
+	fp := 0
+	for _, d := range benign {
+		if s.Malicious(d) {
+			fp++
+		}
+	}
+	fpRate := float64(fp) / float64(len(benign))
+	// Independent 1% FP per list -> P(>=2 of 6) ~ 0.0015.
+	if fpRate > 0.01 {
+		t.Fatalf("consensus FP rate = %v, want < 0.01", fpRate)
+	}
+
+	// Single-list lookups must show the false positives consensus hides.
+	singleFP := 0
+	for _, d := range benign {
+		if len(s.Matches(d)) >= 1 {
+			singleFP++
+		}
+	}
+	if singleFP <= fp {
+		t.Fatalf("single-list FPs (%d) should exceed consensus FPs (%d)", singleFP, fp)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	bad := domainList("bad", 50)
+	benign := domainList("ok", 50)
+	s1 := BuildStandardSet(simrand.New(7), bad, benign, DefaultBuildConfig())
+	s2 := BuildStandardSet(simrand.New(7), bad, benign, DefaultBuildConfig())
+	for i, l := range s1.Lists() {
+		d1 := l.Domains()
+		d2 := s2.Lists()[i].Domains()
+		if len(d1) != len(d2) {
+			t.Fatalf("list %s differs across identical seeds", l.Name())
+		}
+		for j := range d1 {
+			if d1[j] != d2[j] {
+				t.Fatalf("list %s entry %d differs", l.Name(), j)
+			}
+		}
+	}
+}
+
+func TestConcurrentLookups(t *testing.T) {
+	l := NewList("c")
+	done := make(chan struct{}, 20)
+	for i := 0; i < 10; i++ {
+		i := i
+		go func() {
+			l.Add(fmt.Sprintf("d%d.example", i))
+			done <- struct{}{}
+		}()
+		go func() {
+			l.Contains("d0.example")
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		<-done
+	}
+	if l.Len() != 10 {
+		t.Fatalf("len = %d", l.Len())
+	}
+}
+
+func BenchmarkConsensusLookup(b *testing.B) {
+	rng := simrand.New(1)
+	s := BuildStandardSet(rng, domainList("bad", 5000), domainList("ok", 20000), DefaultBuildConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Malicious("bad42.example")
+		s.Malicious("ok42.example")
+	}
+}

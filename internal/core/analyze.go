@@ -1,0 +1,233 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/crawler"
+	"repro/internal/exchange"
+	"repro/internal/htmlparse"
+	"repro/internal/shortener"
+	"repro/internal/stats"
+	"repro/internal/urlutil"
+)
+
+// ExchangeStats is one row of Tables I and II.
+type ExchangeStats struct {
+	Name string
+	Kind exchange.Kind
+	// Table I columns.
+	Crawled   int
+	Self      int
+	Popular   int
+	Regular   int
+	Malicious int
+	// Table II columns.
+	Domains        int
+	MalwareDomains int
+}
+
+// PctMalicious is the Table I "% Malicious URLs" column.
+func (s ExchangeStats) PctMalicious() float64 { return stats.Ratio(s.Malicious, s.Regular) }
+
+// PctMalwareDomains is the Table II "% Malware" column.
+func (s ExchangeStats) PctMalwareDomains() float64 {
+	return stats.Ratio(s.MalwareDomains, s.Domains)
+}
+
+// Analysis is the complete output of the pipeline: everything the paper's
+// evaluation section reports.
+type Analysis struct {
+	// PerExchange holds the Table I / Table II rows in crawl order.
+	PerExchange []ExchangeStats
+	// TotalCrawled, TotalDistinct, TotalDomains, TotalRegular and
+	// TotalMalicious are the headline dataset numbers of §III-A.
+	TotalCrawled   int
+	TotalDistinct  int
+	TotalDomains   int
+	TotalRegular   int
+	TotalMalicious int
+	// CategoryCounts covers categorized malicious URLs (Table III);
+	// MiscCount is the miscellaneous bucket the percentages exclude.
+	CategoryCounts *stats.Counter
+	MiscCount      int
+	// TLDCounts breaks malicious URLs down by top-level domain (Fig 6).
+	TLDCounts *stats.Counter
+	// ContentCategories breaks malicious URLs down by page content
+	// category (Fig 7), derived from page content.
+	ContentCategories *stats.Counter
+	// RedirectHist is the Figure 5 histogram: redirect hop counts of
+	// malicious URLs that redirect.
+	RedirectHist *stats.IntHist
+	// Series maps exchange name -> cumulative malicious-URL series over
+	// crawled URLs (Figure 3).
+	Series map[string]*stats.Series
+	// MaliciousShortURLs lists detected-malicious shortened entry URLs,
+	// deduped, for the Table IV statistics join.
+	MaliciousShortURLs []string
+	// Verdicts holds the per-record verdicts, aligned with the input
+	// record stream per exchange.
+	Verdicts map[string][]Verdict
+}
+
+// OverallPctMalicious is the headline ">26% of URLs are malicious".
+func (a *Analysis) OverallPctMalicious() float64 {
+	return stats.Ratio(a.TotalMalicious, a.TotalRegular)
+}
+
+// Analyzer runs classification + detection + aggregation over crawls.
+type Analyzer struct {
+	Classifier *Classifier
+	Detector   *Detector
+}
+
+// Analyze processes all crawls into the full Analysis.
+func (an *Analyzer) Analyze(crawls []*crawler.Crawl) *Analysis {
+	out := &Analysis{
+		CategoryCounts:    stats.NewCounter(),
+		TLDCounts:         stats.NewCounter(),
+		ContentCategories: stats.NewCounter(),
+		RedirectHist:      stats.NewIntHist(),
+		Series:            make(map[string]*stats.Series),
+		Verdicts:          make(map[string][]Verdict),
+	}
+	var allURLs []string
+	domainSet := map[string]bool{}
+	shortSet := map[string]bool{}
+
+	for _, c := range crawls {
+		row := ExchangeStats{Name: c.Exchange, Kind: c.Kind}
+		series := stats.NewSeries()
+		exDomains := map[string]bool{}
+		exMalDomains := map[string]bool{}
+		verdicts := make([]Verdict, 0, len(c.Records))
+
+		for _, rec := range c.Records {
+			row.Crawled++
+			allURLs = append(allURLs, rec.EntryURL)
+			class := an.Classifier.Classify(rec)
+
+			var v Verdict
+			switch class {
+			case Self:
+				row.Self++
+			case Popular:
+				row.Popular++
+			case Regular:
+				row.Regular++
+				if d := urlutil.DomainOf(rec.EntryURL); d != "" {
+					exDomains[d] = true
+					domainSet[d] = true
+				}
+				v = an.Detector.Inspect(rec)
+				if v.Malicious {
+					row.Malicious++
+					if d := urlutil.DomainOf(rec.EntryURL); d != "" {
+						exMalDomains[d] = true
+					}
+					an.recordMalicious(out, rec, v, shortSet)
+				}
+			}
+			verdicts = append(verdicts, v)
+			series.Observe(v.Malicious)
+		}
+
+		row.Domains = len(exDomains)
+		row.MalwareDomains = len(exMalDomains)
+		out.PerExchange = append(out.PerExchange, row)
+		out.Series[c.Exchange] = series
+		out.Verdicts[c.Exchange] = verdicts
+		out.TotalCrawled += row.Crawled
+		out.TotalRegular += row.Regular
+		out.TotalMalicious += row.Malicious
+	}
+
+	out.TotalDistinct = len(urlutil.Dedupe(allURLs))
+	out.TotalDomains = len(domainSet)
+	out.MaliciousShortURLs = sortedSet(shortSet)
+	return out
+}
+
+// recordMalicious folds one malicious URL into the category/TLD/content
+// aggregates.
+func (an *Analyzer) recordMalicious(out *Analysis, rec crawler.Record, v Verdict, shortSet map[string]bool) {
+	if v.Category == CatMisc {
+		out.MiscCount++
+	} else {
+		out.CategoryCounts.Add(string(v.Category))
+	}
+	if tld := urlutil.TLDOf(rec.EntryURL); tld != "" {
+		out.TLDCounts.Add(normalizeTLD(tld))
+	}
+	out.ContentCategories.Add(contentCategoryOf(rec.Body))
+	if rec.Redirects > 0 {
+		out.RedirectHist.Observe(rec.Redirects)
+	}
+	if v.Category == CatShortened {
+		if norm, err := urlutil.Normalize(rec.EntryURL); err == nil {
+			shortSet[norm] = true
+		}
+	}
+}
+
+// normalizeTLD folds the simulator's ".sim"-suffixed infrastructure hosts
+// out of the Figure 6 axes; everything else passes through.
+func normalizeTLD(tld string) string {
+	if tld == "sim" {
+		return "other"
+	}
+	return tld
+}
+
+// contentCategoryOf derives the Figure 7 content category from the page
+// itself: sites title themselves "Name — Category" (as the universe's
+// page templates do, standing in for the VirusTotal URL categorization
+// the paper used); pages without a parsable category fall back to keyword
+// heuristics.
+func contentCategoryOf(body []byte) string {
+	if len(body) == 0 {
+		return "Others"
+	}
+	doc := htmlparse.Parse(string(body))
+	if el := doc.First("title"); el != nil {
+		title := el.Text
+		if i := strings.LastIndex(title, "— "); i >= 0 {
+			cat := strings.TrimSpace(title[i+len("— "):])
+			if knownContentCategory(cat) {
+				return cat
+			}
+		}
+		lower := strings.ToLower(title)
+		switch {
+		case strings.Contains(lower, "offer") || strings.Contains(lower, "download") ||
+			strings.Contains(lower, "shop") || strings.Contains(lower, "pay"):
+			return "Business"
+		case strings.Contains(lower, "ad") && len(lower) < 30:
+			return "Advertisement"
+		}
+	}
+	return "Others"
+}
+
+func knownContentCategory(c string) bool {
+	switch c {
+	case "Business", "Advertisement", "Entertainment", "Information Technology", "Others":
+		return true
+	}
+	return false
+}
+
+// ShortURLStats joins the analysis's malicious shortened URLs with the
+// shortener registry's public hit statistics — Table IV.
+func (a *Analysis) ShortURLStats(reg *shortener.Registry) []shortener.HitStats {
+	return reg.StatsFor(a.MaliciousShortURLs)
+}
+
+func sortedSet(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

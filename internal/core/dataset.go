@@ -1,0 +1,103 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/crawler"
+	"repro/internal/exchange"
+)
+
+// datasetRecord is the JSONL serialization of one crawl record. Bodies
+// travel base64-encoded (encoding/json's []byte default), so a dataset
+// file is self-contained for offline re-analysis — the same property the
+// study's HAR archive had.
+type datasetRecord struct {
+	Exchange    string    `json:"exchange"`
+	Kind        int       `json:"kind"`
+	Seq         int       `json:"seq"`
+	Timestamp   time.Time `json:"timestamp"`
+	EntryURL    string    `json:"entryUrl"`
+	FinalURL    string    `json:"finalUrl"`
+	Redirects   int       `json:"redirects"`
+	Status      int       `json:"status"`
+	ContentType string    `json:"contentType,omitempty"`
+	Body        []byte    `json:"body,omitempty"`
+	FetchErr    string    `json:"fetchErr,omitempty"`
+}
+
+// WriteDataset streams crawls as JSON lines.
+func WriteDataset(w io.Writer, crawls []*crawler.Crawl) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, c := range crawls {
+		for _, r := range c.Records {
+			dr := datasetRecord{
+				Exchange:    r.Exchange,
+				Kind:        int(r.Kind),
+				Seq:         r.Seq,
+				Timestamp:   r.Timestamp,
+				EntryURL:    r.EntryURL,
+				FinalURL:    r.FinalURL,
+				Redirects:   r.Redirects,
+				Status:      r.Status,
+				ContentType: r.ContentType,
+				Body:        r.Body,
+				FetchErr:    r.FetchErr,
+			}
+			if err := enc.Encode(&dr); err != nil {
+				return fmt.Errorf("core: write dataset: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDataset loads a JSONL dataset back into per-exchange crawls,
+// preserving first-seen exchange order and record order within each
+// exchange.
+func ReadDataset(r io.Reader) ([]*crawler.Crawl, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	byName := map[string]*crawler.Crawl{}
+	var order []string
+	for {
+		var dr datasetRecord
+		if err := dec.Decode(&dr); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("core: read dataset: %w", err)
+		}
+		c, ok := byName[dr.Exchange]
+		if !ok {
+			c = &crawler.Crawl{Exchange: dr.Exchange, Kind: exchange.Kind(dr.Kind)}
+			byName[dr.Exchange] = c
+			order = append(order, dr.Exchange)
+		}
+		c.Records = append(c.Records, crawler.Record{
+			Exchange:    dr.Exchange,
+			Kind:        exchange.Kind(dr.Kind),
+			Seq:         dr.Seq,
+			Timestamp:   dr.Timestamp,
+			EntryURL:    dr.EntryURL,
+			FinalURL:    dr.FinalURL,
+			Redirects:   dr.Redirects,
+			Status:      dr.Status,
+			ContentType: dr.ContentType,
+			Body:        dr.Body,
+			FetchErr:    dr.FetchErr,
+		})
+	}
+	out := make([]*crawler.Crawl, 0, len(order))
+	for _, name := range order {
+		c := byName[name]
+		if n := len(c.Records); n > 0 {
+			c.Started = c.Records[0].Timestamp
+			c.Ended = c.Records[n-1].Timestamp
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/crawler"
+	"repro/internal/exchange"
+	"repro/internal/har"
+)
+
+// CrawlFromHAR reconstructs a crawl from a HAR capture — the workflow the
+// original study used, where all offline analysis ran against the
+// Firebug/NetExport archives. Each HAR page becomes one crawl record: the
+// page title is the entry URL, the page's last entry is the final hop
+// (whose archived content text is the downloaded body), and the entry
+// count gives the redirect count.
+func CrawlFromHAR(exchangeName string, kind exchange.Kind, log *har.Log) (*crawler.Crawl, error) {
+	if log == nil {
+		return nil, fmt.Errorf("core: nil HAR log")
+	}
+	out := &crawler.Crawl{Exchange: exchangeName, Kind: kind, HAR: log}
+	for seq, page := range log.Pages {
+		entries := log.EntriesForPage(page.ID)
+		if len(entries) == 0 {
+			continue
+		}
+		final := entries[len(entries)-1]
+		ts, err := time.Parse("2006-01-02T15:04:05.000Z07:00", page.StartedDateTime)
+		if err != nil {
+			// Fall back to second-resolution timestamps from other tools.
+			ts, _ = time.Parse(time.RFC3339, page.StartedDateTime)
+		}
+		rec := crawler.Record{
+			Exchange:    exchangeName,
+			Kind:        kind,
+			Seq:         seq,
+			Timestamp:   ts,
+			EntryURL:    page.Title,
+			FinalURL:    final.Request.URL,
+			Redirects:   len(entries) - 1,
+			Status:      final.Response.Status,
+			ContentType: final.Response.Content.MimeType,
+			Body:        []byte(final.Response.Content.Text),
+		}
+		out.Records = append(out.Records, rec)
+	}
+	if n := len(out.Records); n > 0 {
+		out.Started = out.Records[0].Timestamp
+		out.Ended = out.Records[n-1].Timestamp
+	}
+	return out, nil
+}
+
+// ExchangeByFileName resolves a HAR archive's file name (as slumcrawl
+// writes them: lowercased, spaces dashed, ".har" suffix) back to the
+// paper-spec exchange it belongs to.
+func ExchangeByFileName(name string) (exchange.PaperSpec, bool) {
+	base := strings.TrimSuffix(strings.ToLower(name), ".har")
+	for _, spec := range exchange.PaperSpecs() {
+		if strings.ToLower(strings.ReplaceAll(spec.Name, " ", "-")) == base {
+			return spec, true
+		}
+	}
+	return exchange.PaperSpec{}, false
+}

@@ -1,0 +1,214 @@
+// Package crawler implements the measurement client of §III-A: it
+// registers a fresh account on each exchange, surfs the rotation (solving
+// CAPTCHAs on manual-surf exchanges), follows every redirect a browser
+// would (including meta refresh), downloads final page content with a
+// browser User-Agent (the anti-cloaking measure of footnote 1), and
+// captures all traffic in HAR form — the Firebug/NetExport analog.
+//
+// The crawl advances a virtual clock (minimum surf time plus simulated
+// network latency per page), so the temporal analysis of Figure 3 works
+// on realistic timestamps without wall-clock sleeping.
+package crawler
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/exchange"
+	"repro/internal/har"
+	"repro/internal/httpsim"
+	"repro/internal/web"
+)
+
+// BrowserUA is the crawl User-Agent (a Firefox of the study's era).
+const BrowserUA = "Mozilla/5.0 (X11; Linux x86_64; rv:38.0) Gecko/20100101 Firefox/38.0"
+
+// Record is one surfed URL with its capture.
+type Record struct {
+	// Exchange and Kind identify the source exchange.
+	Exchange string
+	Kind     exchange.Kind
+	// Seq is the 0-based observation index within the exchange's crawl.
+	Seq int
+	// Timestamp is the virtual capture time.
+	Timestamp time.Time
+	// EntryURL is the URL the exchange rotated in; FinalURL is where the
+	// browser landed after redirects.
+	EntryURL string
+	FinalURL string
+	// Redirects is the redirect hop count (Figure 5's x-axis).
+	Redirects int
+	// Status and ContentType describe the final response.
+	Status      int
+	ContentType string
+	// Body is the downloaded final page (the local copy uploaded to the
+	// scanners).
+	Body []byte
+	// FetchErr records a failed fetch ("" on success); the URL still
+	// counts as crawled.
+	FetchErr string
+}
+
+// Crawl is one exchange's completed measurement.
+type Crawl struct {
+	Exchange string
+	Kind     exchange.Kind
+	Records  []Record
+	HAR      *har.Log
+	// Started and Ended bound the virtual crawl window.
+	Started, Ended time.Time
+}
+
+// Options tunes a crawl.
+type Options struct {
+	// Account and IP register the crawler's fresh account.
+	Account string
+	IP      string
+	// Steps is the number of URLs to surf.
+	Steps int
+	// Start is the virtual start time.
+	Start time.Time
+	// KeepBodies controls whether Record.Body is retained (the analysis
+	// pipeline needs it; set false for storage-light crawls re-analyzed
+	// from HAR).
+	KeepBodies bool
+	// CaptureHAR enables HAR building.
+	CaptureHAR bool
+}
+
+// DefaultOptions returns crawl options with bodies and HAR enabled.
+func DefaultOptions(steps int) Options {
+	return Options{
+		Account:    "measurement-account",
+		IP:         "203.0.113.7",
+		Steps:      steps,
+		Start:      time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC),
+		KeepBodies: true,
+		CaptureHAR: true,
+	}
+}
+
+// NewClient builds the redirect-following browser client over a transport.
+func NewClient(transport httpsim.RoundTripper) *httpsim.Client {
+	c := httpsim.NewClient(transport)
+	c.FollowMetaRefresh = true
+	c.MetaRefreshTarget = web.MetaRefreshTarget
+	return c
+}
+
+// CrawlExchange runs a full measurement session against one exchange.
+func CrawlExchange(ex *exchange.Exchange, transport httpsim.RoundTripper, opts Options) (*Crawl, error) {
+	if opts.Steps <= 0 {
+		return nil, errors.New("crawler: Steps must be positive")
+	}
+	if _, err := ex.Register(opts.Account, opts.IP); err != nil {
+		return nil, fmt.Errorf("crawler: register on %s: %w", ex.Config().Name, err)
+	}
+	sess, err := ex.StartSession(opts.Account, opts.Steps)
+	if err != nil {
+		return nil, fmt.Errorf("crawler: session on %s: %w", ex.Config().Name, err)
+	}
+	defer ex.EndSession(opts.Account)
+
+	client := NewClient(transport)
+	out := &Crawl{
+		Exchange: ex.Config().Name,
+		Kind:     ex.Config().Kind,
+		Started:  opts.Start,
+	}
+	var harb *har.Builder
+	if opts.CaptureHAR {
+		harb = har.NewBuilder()
+	}
+	clock := opts.Start
+
+	for i := 0; i < opts.Steps; i++ {
+		// Manual-surf exchanges gate each step behind a CAPTCHA; the
+		// study solved them by hand, we solve them in code.
+		if c := sess.Challenge(); c != nil {
+			if !sess.Solve(c.ID, exchange.SolveChallenge(c)) {
+				return nil, fmt.Errorf("crawler: captcha rejected on %s", ex.Config().Name)
+			}
+		}
+		step, err := sess.Next()
+		if err != nil {
+			return nil, fmt.Errorf("crawler: step %d on %s: %w", i, ex.Config().Name, err)
+		}
+
+		rec := Record{
+			Exchange:  ex.Config().Name,
+			Kind:      ex.Config().Kind,
+			Seq:       i,
+			Timestamp: clock,
+			EntryURL:  step.URL,
+		}
+		res, err := client.Get(step.URL, BrowserUA, ex.HomeURL())
+		if err != nil {
+			rec.FetchErr = err.Error()
+			rec.FinalURL = step.URL
+		} else {
+			rec.FinalURL = res.FinalURL
+			rec.Redirects = res.Redirects()
+			rec.Status = res.Final.StatusCode
+			rec.ContentType = res.Final.ContentType
+			if opts.KeepBodies {
+				rec.Body = res.Final.Body
+			}
+			if harb != nil {
+				pid := harb.AddPage(step.URL, clock)
+				harb.AddResult(pid, BrowserUA, clock, res)
+			}
+			for _, hop := range res.Chain {
+				clock = clock.Add(hop.Latency)
+			}
+		}
+		out.Records = append(out.Records, rec)
+
+		// Dwell for the minimum surf time, then claim the credit.
+		clock = clock.Add(time.Duration(step.SurfSeconds) * time.Second)
+		if err := sess.Complete(step, step.SurfSeconds); err != nil {
+			return nil, fmt.Errorf("crawler: credit on %s: %w", ex.Config().Name, err)
+		}
+	}
+	out.Ended = clock
+	if harb != nil {
+		out.HAR = harb.Log()
+	}
+	return out, nil
+}
+
+// CrawlAll measures every exchange with per-exchange step budgets,
+// returning crawls in input order. Exchanges are crawled concurrently —
+// the study ran its measurement accounts on all nine exchanges in
+// parallel over the same months. Each exchange gets its own account, IP
+// and session; the transport (the virtual internet) is safe for
+// concurrent use.
+func CrawlAll(exchanges []*exchange.Exchange, transport httpsim.RoundTripper, steps []int, base Options) ([]*Crawl, error) {
+	if len(exchanges) != len(steps) {
+		return nil, errors.New("crawler: exchanges/steps length mismatch")
+	}
+	out := make([]*Crawl, len(exchanges))
+	errs := make([]error, len(exchanges))
+	var wg sync.WaitGroup
+	for i, ex := range exchanges {
+		i, ex := i, ex
+		opts := base
+		opts.Steps = steps[i]
+		opts.Account = fmt.Sprintf("%s-%d", base.Account, i)
+		opts.IP = fmt.Sprintf("203.0.113.%d", 10+i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i], errs[i] = CrawlExchange(ex, transport, opts)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,283 @@
+package crawler
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exchange"
+	"repro/internal/har"
+	"repro/internal/simrand"
+	"repro/internal/web"
+)
+
+func setup(t *testing.T, kind exchange.Kind) (*web.Universe, *exchange.Exchange) {
+	t.Helper()
+	cfg := web.DefaultConfig()
+	cfg.Seed = 17
+	cfg.BenignSites = 120
+	cfg.MaliciousSites = 100
+	u := web.Generate(cfg)
+	pools, err := u.SplitPools(simrand.New(4), []web.PoolSpec{{Benign: 80, Malicious: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	excfg := exchange.Config{
+		Name: "TestEx", Host: "testex.sim", Kind: kind,
+		MinSurfSeconds: 10, SelfFrac: 0.05, PopularFrac: 0.10, MalFrac: 0.30,
+	}
+	if kind == exchange.ManualSurf {
+		excfg.Campaigns = []exchange.CampaignWindow{{StartFrac: 0.4, EndFrac: 0.5, MalDensity: 0.9}}
+	}
+	ex := exchange.New(excfg, pools[0], u.PopularURLs, simrand.New(8))
+	ex.RegisterHomepage(u.Internet)
+	return u, ex
+}
+
+func TestCrawlAutoSurf(t *testing.T) {
+	u, ex := setup(t, exchange.AutoSurf)
+	crawl, err := CrawlExchange(ex, u.Internet, DefaultOptions(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crawl.Records) != 300 {
+		t.Fatalf("records = %d", len(crawl.Records))
+	}
+	okCount := 0
+	for _, r := range crawl.Records {
+		if r.FetchErr == "" {
+			okCount++
+			if r.Status != 200 {
+				t.Fatalf("record %d status %d (%s)", r.Seq, r.Status, r.EntryURL)
+			}
+			if len(r.Body) == 0 {
+				t.Fatalf("record %d has no body", r.Seq)
+			}
+		}
+	}
+	if okCount < 295 {
+		t.Fatalf("only %d/300 fetches succeeded", okCount)
+	}
+	// Virtual clock must advance monotonically.
+	for i := 1; i < len(crawl.Records); i++ {
+		if !crawl.Records[i].Timestamp.After(crawl.Records[i-1].Timestamp) {
+			t.Fatalf("timestamps not increasing at %d", i)
+		}
+	}
+	if !crawl.Ended.After(crawl.Started) {
+		t.Fatal("crawl window empty")
+	}
+	// 300 steps x >= 10s dwell: at least 50 virtual minutes.
+	if crawl.Ended.Sub(crawl.Started) < 50*time.Minute {
+		t.Fatalf("virtual duration = %v, want >= 50m", crawl.Ended.Sub(crawl.Started))
+	}
+}
+
+func TestCrawlManualSurfSolvesCaptchas(t *testing.T) {
+	u, ex := setup(t, exchange.ManualSurf)
+	crawl, err := CrawlExchange(ex, u.Internet, DefaultOptions(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crawl.Records) != 60 {
+		t.Fatalf("records = %d", len(crawl.Records))
+	}
+}
+
+func TestCrawlObservesMix(t *testing.T) {
+	u, ex := setup(t, exchange.AutoSurf)
+	crawl, err := CrawlExchange(ex, u.Internet, DefaultOptions(1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	self, popular, mal := 0, 0, 0
+	for _, r := range crawl.Records {
+		switch {
+		case strings.HasPrefix(r.EntryURL, ex.HomeURL()):
+			self++
+		case u.PopularHosts[hostOf(r.EntryURL)]:
+			popular++
+		}
+		if u.TruthByURL(r.EntryURL).Malicious() {
+			mal++
+		}
+	}
+	if self == 0 || popular == 0 || mal == 0 {
+		t.Fatalf("mix missing classes: self=%d popular=%d mal=%d", self, popular, mal)
+	}
+}
+
+func hostOf(url string) string {
+	rest := strings.TrimPrefix(strings.TrimPrefix(url, "http://"), "https://")
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}
+
+func TestCrawlRecordsRedirects(t *testing.T) {
+	u, ex := setup(t, exchange.AutoSurf)
+	crawl, err := CrawlExchange(ex, u.Internet, DefaultOptions(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawRedirect := false
+	for _, r := range crawl.Records {
+		if r.Redirects > 0 {
+			sawRedirect = true
+			if r.FinalURL == r.EntryURL {
+				t.Fatalf("redirected record has same final URL: %+v", r)
+			}
+		}
+	}
+	if !sawRedirect {
+		t.Fatal("no redirects observed in 2000 steps (redirector sites exist in pool)")
+	}
+}
+
+func TestHARCapture(t *testing.T) {
+	u, ex := setup(t, exchange.AutoSurf)
+	crawl, err := CrawlExchange(ex, u.Internet, DefaultOptions(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crawl.HAR == nil {
+		t.Fatal("no HAR log")
+	}
+	okPages := 0
+	for _, r := range crawl.Records {
+		if r.FetchErr == "" {
+			okPages++
+		}
+	}
+	if len(crawl.HAR.Pages) != okPages {
+		t.Fatalf("HAR pages = %d, successful fetches = %d", len(crawl.HAR.Pages), okPages)
+	}
+	if len(crawl.HAR.Entries) < okPages {
+		t.Fatalf("HAR entries = %d < pages", len(crawl.HAR.Entries))
+	}
+	// Round-trip the HAR.
+	var buf bytes.Buffer
+	if err := har.Encode(&buf, crawl.HAR); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := har.Decode(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrawlWithoutBodiesOrHAR(t *testing.T) {
+	u, ex := setup(t, exchange.AutoSurf)
+	opts := DefaultOptions(30)
+	opts.KeepBodies = false
+	opts.CaptureHAR = false
+	crawl, err := CrawlExchange(ex, u.Internet, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crawl.HAR != nil {
+		t.Fatal("HAR built despite CaptureHAR=false")
+	}
+	for _, r := range crawl.Records {
+		if len(r.Body) != 0 {
+			t.Fatal("body kept despite KeepBodies=false")
+		}
+	}
+}
+
+func TestCrawlInvalidSteps(t *testing.T) {
+	u, ex := setup(t, exchange.AutoSurf)
+	if _, err := CrawlExchange(ex, u.Internet, DefaultOptions(0)); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+}
+
+func TestCrawlAll(t *testing.T) {
+	cfg := web.DefaultConfig()
+	cfg.Seed = 19
+	cfg.BenignSites = 150
+	cfg.MaliciousSites = 110
+	u := web.Generate(cfg)
+	pools, err := u.SplitPools(simrand.New(4), []web.PoolSpec{
+		{Benign: 60, Malicious: 30},
+		{Benign: 50, Malicious: 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex1 := exchange.New(exchange.Config{
+		Name: "A", Host: "a-ex.sim", Kind: exchange.AutoSurf,
+		MinSurfSeconds: 10, MalFrac: 0.2, SelfFrac: 0.05, PopularFrac: 0.05,
+	}, pools[0], u.PopularURLs, simrand.New(1))
+	ex2 := exchange.New(exchange.Config{
+		Name: "B", Host: "b-ex.sim", Kind: exchange.ManualSurf,
+		MinSurfSeconds: 20, MalFrac: 0.1, SelfFrac: 0.05, PopularFrac: 0.05,
+	}, pools[1], u.PopularURLs, simrand.New(2))
+	ex1.RegisterHomepage(u.Internet)
+	ex2.RegisterHomepage(u.Internet)
+
+	crawls, err := CrawlAll([]*exchange.Exchange{ex1, ex2}, u.Internet, []int{100, 40}, DefaultOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crawls) != 2 || len(crawls[0].Records) != 100 || len(crawls[1].Records) != 40 {
+		t.Fatalf("crawl shapes wrong: %d, %d", len(crawls[0].Records), len(crawls[1].Records))
+	}
+	if _, err := CrawlAll([]*exchange.Exchange{ex1}, u.Internet, []int{1, 2}, DefaultOptions(0)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestAntiCloakingDownload(t *testing.T) {
+	// The crawler fetches with a browser UA, so cloaked sites expose
+	// their payload in Record.Body.
+	u, ex := setup(t, exchange.AutoSurf)
+	_ = ex
+	var cloaked *web.Site
+	for _, s := range u.MaliciousSites() {
+		if s.Cloaked {
+			cloaked = s
+			break
+		}
+	}
+	if cloaked == nil {
+		t.Skip("seed produced no cloaked site")
+	}
+	client := NewClient(u.Internet)
+	res, err := client.Get(cloaked.EntryURL, BrowserUA, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(res.Final.Body), cloaked.FamilyToken) {
+		t.Fatal("browser-UA download did not expose the cloaked payload")
+	}
+}
+
+func BenchmarkCrawl100(b *testing.B) {
+	cfg := web.DefaultConfig()
+	cfg.Seed = 17
+	cfg.BenignSites = 120
+	cfg.MaliciousSites = 100
+	u := web.Generate(cfg)
+	pools, err := u.SplitPools(simrand.New(4), []web.PoolSpec{{Benign: 80, Malicious: 50}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		excfg := exchange.Config{
+			Name: "Bench", Host: "bench.sim", Kind: exchange.AutoSurf,
+			MinSurfSeconds: 10, MalFrac: 0.3,
+		}
+		ex := exchange.New(excfg, pools[0], u.PopularURLs, simrand.New(uint64(i)))
+		ex.RegisterHomepage(u.Internet)
+		opts := DefaultOptions(100)
+		opts.Account = "bench"
+		opts.CaptureHAR = false
+		if _, err := CrawlExchange(ex, u.Internet, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

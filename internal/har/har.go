@@ -1,0 +1,239 @@
+// Package har encodes and decodes HTTP Archive (HAR) 1.2 logs — the
+// capture format the study's crawler produced via the NetExport extension.
+//
+// Each surf session becomes one HAR log; each hop of each fetch becomes one
+// entry with request, response, and timing blocks. The analysis pipeline
+// can be re-run from persisted HAR files alone, which mirrors how the
+// original study's offline analysis worked from its capture archive.
+package har
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/httpsim"
+)
+
+// Log is the top-level HAR structure.
+type Log struct {
+	Version string  `json:"version"`
+	Creator Creator `json:"creator"`
+	Pages   []Page  `json:"pages,omitempty"`
+	Entries []Entry `json:"entries"`
+}
+
+// Creator identifies the capturing tool.
+type Creator struct {
+	Name    string `json:"name"`
+	Version string `json:"version"`
+}
+
+// Page is one visited page.
+type Page struct {
+	StartedDateTime string `json:"startedDateTime"`
+	ID              string `json:"id"`
+	Title           string `json:"title"`
+}
+
+// Entry is one request/response exchange.
+type Entry struct {
+	Pageref         string   `json:"pageref,omitempty"`
+	StartedDateTime string   `json:"startedDateTime"`
+	Time            float64  `json:"time"` // total ms
+	Request         Request  `json:"request"`
+	Response        Response `json:"response"`
+	Timings         Timings  `json:"timings"`
+}
+
+// Request is the HAR request block.
+type Request struct {
+	Method      string   `json:"method"`
+	URL         string   `json:"url"`
+	HTTPVersion string   `json:"httpVersion"`
+	Headers     []Header `json:"headers"`
+	HeaderSize  int      `json:"headersSize"`
+	BodySize    int      `json:"bodySize"`
+}
+
+// Response is the HAR response block.
+type Response struct {
+	Status      int      `json:"status"`
+	StatusText  string   `json:"statusText"`
+	HTTPVersion string   `json:"httpVersion"`
+	Headers     []Header `json:"headers"`
+	Content     Content  `json:"content"`
+	RedirectURL string   `json:"redirectURL"`
+	HeaderSize  int      `json:"headersSize"`
+	BodySize    int      `json:"bodySize"`
+}
+
+// Header is one HTTP header.
+type Header struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// Content is the HAR response content block. Text is included so the
+// offline analysis (and the anti-cloaking re-scan) can run from the
+// archive without refetching.
+type Content struct {
+	Size     int    `json:"size"`
+	MimeType string `json:"mimeType"`
+	Text     string `json:"text,omitempty"`
+	Encoding string `json:"encoding,omitempty"`
+}
+
+// Timings is the HAR timing block (milliseconds; -1 = not applicable).
+type Timings struct {
+	Blocked float64 `json:"blocked"`
+	DNS     float64 `json:"dns"`
+	Connect float64 `json:"connect"`
+	Send    float64 `json:"send"`
+	Wait    float64 `json:"wait"`
+	Receive float64 `json:"receive"`
+}
+
+// Builder accumulates a HAR log.
+type Builder struct {
+	log     Log
+	pageSeq int
+}
+
+// NewBuilder starts a log attributed to the simulated capture stack.
+func NewBuilder() *Builder {
+	return &Builder{
+		log: Log{
+			Version: "1.2",
+			Creator: Creator{Name: "slums-crawler", Version: "1.0"},
+		},
+	}
+}
+
+// AddPage opens a page and returns its id for entry association.
+func (b *Builder) AddPage(title string, start time.Time) string {
+	b.pageSeq++
+	id := fmt.Sprintf("page_%d", b.pageSeq)
+	b.log.Pages = append(b.log.Pages, Page{
+		StartedDateTime: start.UTC().Format("2006-01-02T15:04:05.000Z07:00"),
+		ID:              id,
+		Title:           title,
+	})
+	return id
+}
+
+// AddResult appends one entry per hop of a completed fetch. The synthetic
+// latency is split across wait/receive the way browser captures look.
+func (b *Builder) AddResult(pageID, userAgent string, start time.Time, res *httpsim.Result) {
+	if res == nil {
+		return
+	}
+	at := start
+	for i, hop := range res.Chain {
+		totalMS := float64(hop.Latency) / float64(time.Millisecond)
+		entry := Entry{
+			Pageref:         pageID,
+			StartedDateTime: at.UTC().Format("2006-01-02T15:04:05.000Z07:00"),
+			Time:            totalMS,
+			Request: Request{
+				Method:      "GET",
+				URL:         hop.URL,
+				HTTPVersion: "HTTP/1.1",
+				Headers: []Header{
+					{Name: "User-Agent", Value: userAgent},
+				},
+				HeaderSize: -1,
+				BodySize:   0,
+			},
+			Response: Response{
+				Status:      hop.StatusCode,
+				StatusText:  statusText(hop.StatusCode),
+				HTTPVersion: "HTTP/1.1",
+				Content: Content{
+					Size:     hop.BodySize,
+					MimeType: hop.ContentType,
+				},
+				HeaderSize: -1,
+				BodySize:   hop.BodySize,
+			},
+			Timings: Timings{
+				Blocked: -1, DNS: -1, Connect: -1,
+				Send: 0, Wait: totalMS * 0.8, Receive: totalMS * 0.2,
+			},
+		}
+		// Redirect hops carry their target.
+		if i+1 < len(res.Chain) {
+			entry.Response.RedirectURL = res.Chain[i+1].URL
+		}
+		// Final hop carries the body text for offline re-analysis.
+		if i == len(res.Chain)-1 && res.Final != nil {
+			entry.Response.Content.Text = string(res.Final.Body)
+		}
+		b.log.Entries = append(b.log.Entries, entry)
+		at = at.Add(hop.Latency)
+	}
+}
+
+// Log returns the built log.
+func (b *Builder) Log() *Log { return &b.log }
+
+// Encode writes the log as HAR JSON ({"log": {...}}).
+func Encode(w io.Writer, l *Log) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]*Log{"log": l})
+}
+
+// Decode reads a HAR JSON document.
+func Decode(r io.Reader) (*Log, error) {
+	var doc map[string]*Log
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("har: decode: %w", err)
+	}
+	l, ok := doc["log"]
+	if !ok || l == nil {
+		return nil, fmt.Errorf("har: missing log object")
+	}
+	if l.Version == "" {
+		return nil, fmt.Errorf("har: missing version")
+	}
+	return l, nil
+}
+
+// EntriesForPage returns the entries associated with a page id.
+func (l *Log) EntriesForPage(pageID string) []Entry {
+	var out []Entry
+	for _, e := range l.Entries {
+		if e.Pageref == pageID {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FinalURLs returns, per page, the URL of the last entry — i.e. the
+// landing URL after redirects.
+func (l *Log) FinalURLs() map[string]string {
+	out := make(map[string]string)
+	for _, e := range l.Entries {
+		out[e.Pageref] = e.Request.URL
+	}
+	return out
+}
+
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 301:
+		return "Moved Permanently"
+	case 302:
+		return "Found"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	default:
+		return ""
+	}
+}

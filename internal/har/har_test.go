@@ -1,0 +1,152 @@
+package har
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/httpsim"
+)
+
+func sampleResult() *httpsim.Result {
+	return &httpsim.Result{
+		Chain: []httpsim.Hop{
+			{URL: "http://a.example/", StatusCode: 302, Kind: "http", ContentType: "text/html", Latency: 100 * time.Millisecond},
+			{URL: "http://b.example/land", StatusCode: 200, ContentType: "text/html", BodySize: 42, Latency: 60 * time.Millisecond},
+		},
+		Final:    &httpsim.Response{StatusCode: 200, ContentType: "text/html", Body: []byte("<html>page body</html>")},
+		FinalURL: "http://b.example/land",
+	}
+}
+
+func TestBuilderProducesEntriesPerHop(t *testing.T) {
+	b := NewBuilder()
+	start := time.Date(2015, 6, 1, 12, 0, 0, 0, time.UTC)
+	pid := b.AddPage("http://a.example/", start)
+	b.AddResult(pid, "Mozilla/5.0", start, sampleResult())
+	l := b.Log()
+
+	if len(l.Pages) != 1 || len(l.Entries) != 2 {
+		t.Fatalf("pages=%d entries=%d, want 1 and 2", len(l.Pages), len(l.Entries))
+	}
+	if l.Entries[0].Response.RedirectURL != "http://b.example/land" {
+		t.Fatalf("redirectURL = %q", l.Entries[0].Response.RedirectURL)
+	}
+	if l.Entries[1].Response.Content.Text != "<html>page body</html>" {
+		t.Fatalf("final body not archived: %+v", l.Entries[1].Response.Content)
+	}
+	if l.Entries[0].Response.Content.Text != "" {
+		t.Fatal("intermediate hop should not carry body text")
+	}
+	// The second entry must start after the first hop's latency.
+	if l.Entries[1].StartedDateTime <= l.Entries[0].StartedDateTime {
+		t.Fatalf("entry timestamps not advancing: %q vs %q",
+			l.Entries[0].StartedDateTime, l.Entries[1].StartedDateTime)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	start := time.Date(2015, 6, 1, 12, 0, 0, 0, time.UTC)
+	pid := b.AddPage("session", start)
+	b.AddResult(pid, "UA", start, sampleResult())
+
+	var buf bytes.Buffer
+	if err := Encode(&buf, b.Log()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"log"`) {
+		t.Fatal("encoded HAR missing top-level log key")
+	}
+	decoded, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Version != "1.2" {
+		t.Fatalf("version = %q", decoded.Version)
+	}
+	if len(decoded.Entries) != 2 {
+		t.Fatalf("entries after round trip = %d", len(decoded.Entries))
+	}
+	if decoded.Entries[1].Response.Content.Text != "<html>page body</html>" {
+		t.Fatal("body text lost in round trip")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(strings.NewReader("not json")); err == nil {
+		t.Fatal("want error for bad JSON")
+	}
+	if _, err := Decode(strings.NewReader(`{"notlog": {}}`)); err == nil {
+		t.Fatal("want error for missing log key")
+	}
+	if _, err := Decode(strings.NewReader(`{"log": {"entries": []}}`)); err == nil {
+		t.Fatal("want error for missing version")
+	}
+}
+
+func TestEntriesForPage(t *testing.T) {
+	b := NewBuilder()
+	start := time.Now()
+	p1 := b.AddPage("one", start)
+	p2 := b.AddPage("two", start)
+	b.AddResult(p1, "UA", start, sampleResult())
+	b.AddResult(p2, "UA", start, sampleResult())
+	l := b.Log()
+	if got := len(l.EntriesForPage(p1)); got != 2 {
+		t.Fatalf("entries for p1 = %d", got)
+	}
+	if got := len(l.EntriesForPage("nonexistent")); got != 0 {
+		t.Fatalf("entries for unknown page = %d", got)
+	}
+}
+
+func TestFinalURLs(t *testing.T) {
+	b := NewBuilder()
+	start := time.Now()
+	pid := b.AddPage("one", start)
+	b.AddResult(pid, "UA", start, sampleResult())
+	finals := b.Log().FinalURLs()
+	if finals[pid] != "http://b.example/land" {
+		t.Fatalf("final URL = %q", finals[pid])
+	}
+}
+
+func TestAddResultNil(t *testing.T) {
+	b := NewBuilder()
+	b.AddResult("p", "UA", time.Now(), nil) // must not panic
+	if len(b.Log().Entries) != 0 {
+		t.Fatal("nil result added entries")
+	}
+}
+
+func TestPageIDsUnique(t *testing.T) {
+	b := NewBuilder()
+	ids := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := b.AddPage("p", time.Now())
+		if ids[id] {
+			t.Fatalf("duplicate page id %q", id)
+		}
+		ids[id] = true
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	bld := NewBuilder()
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		pid := bld.AddPage("p", start)
+		bld.AddResult(pid, "UA", start, sampleResult())
+	}
+	l := bld.Log()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Encode(&buf, l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+// Package htmlparse implements a small HTML tokenizer and element extractor
+// sufficient for the artifacts this study inspects: iframe elements and
+// their geometry/visibility attributes, script elements (external src and
+// inline bodies), anchors, meta-refresh redirects, and object/embed tags
+// referencing Flash content.
+//
+// It is deliberately not a full HTML5 tree builder — the heuristic scanner
+// (the Quttera analog) only needs flat element extraction with attributes
+// and inline script bodies, which is also how the real tools' static
+// passes work on malformed malware pages that no spec-compliant parser
+// would accept anyway. The tokenizer is forgiving: unclosed tags, stray
+// '<', bad quoting, and comments all degrade gracefully instead of
+// erroring.
+package htmlparse
+
+import (
+	"strings"
+)
+
+// Element is one parsed HTML element.
+type Element struct {
+	// Tag is the lowercased tag name ("iframe", "script", ...).
+	Tag string
+	// Attrs maps lowercased attribute names to their (unquoted) values.
+	// Valueless attributes map to "".
+	Attrs map[string]string
+	// Text is the raw text between an element's open and close tag. It is
+	// only populated for HTML raw-text elements, whose content is not
+	// markup: script, style, title, textarea.
+	Text string
+	// SelfClosing records a trailing "/>".
+	SelfClosing bool
+	// Offset is the byte offset of the '<' that opened the element.
+	Offset int
+}
+
+// Attr returns the value of the named attribute (lowercase) and whether it
+// was present.
+func (e *Element) Attr(name string) (string, bool) {
+	v, ok := e.Attrs[name]
+	return v, ok
+}
+
+// Document is the flat parse of an HTML page.
+type Document struct {
+	// Elements lists every parsed element in document order.
+	Elements []Element
+	// Raw is the input.
+	Raw string
+}
+
+// bodyTags are raw-text tags whose inner content is captured verbatim and
+// never re-parsed as markup. Capturing bodies of nestable containers (div,
+// a, ...) would swallow their children, so only true raw-text elements are
+// listed.
+var bodyTags = map[string]bool{
+	"script": true, "style": true, "title": true, "textarea": true,
+}
+
+// Parse tokenizes src into a flat Document. It never fails: arbitrarily
+// broken markup yields a best-effort element list.
+func Parse(src string) *Document {
+	doc := &Document{Raw: src}
+	i := 0
+	n := len(src)
+	for i < n {
+		lt := strings.IndexByte(src[i:], '<')
+		if lt < 0 {
+			break
+		}
+		pos := i + lt
+		rest := src[pos:]
+		switch {
+		case strings.HasPrefix(rest, "<!--"):
+			end := strings.Index(rest[4:], "-->")
+			if end < 0 {
+				i = n
+				continue
+			}
+			i = pos + 4 + end + 3
+		case strings.HasPrefix(rest, "<!") || strings.HasPrefix(rest, "<?"):
+			end := strings.IndexByte(rest, '>')
+			if end < 0 {
+				i = n
+				continue
+			}
+			i = pos + end + 1
+		case strings.HasPrefix(rest, "</"):
+			end := strings.IndexByte(rest, '>')
+			if end < 0 {
+				i = n
+				continue
+			}
+			i = pos + end + 1
+		default:
+			el, next, ok := parseTag(src, pos)
+			if !ok {
+				i = pos + 1
+				continue
+			}
+			i = next
+			if bodyTags[el.Tag] && !el.SelfClosing {
+				body, after := captureBody(src, i, el.Tag)
+				el.Text = body
+				i = after
+			}
+			doc.Elements = append(doc.Elements, el)
+		}
+	}
+	return doc
+}
+
+// parseTag parses an opening tag starting at src[pos] == '<'. It returns
+// the element, the offset just past '>', and whether a valid tag was found.
+func parseTag(src string, pos int) (Element, int, bool) {
+	i := pos + 1
+	n := len(src)
+	start := i
+	for i < n && isNameByte(src[i]) {
+		i++
+	}
+	if i == start {
+		return Element{}, 0, false
+	}
+	el := Element{
+		Tag:    strings.ToLower(src[start:i]),
+		Attrs:  make(map[string]string),
+		Offset: pos,
+	}
+	for i < n {
+		// Skip whitespace.
+		for i < n && isSpace(src[i]) {
+			i++
+		}
+		if i >= n {
+			return el, n, true
+		}
+		if src[i] == '>' {
+			return el, i + 1, true
+		}
+		if src[i] == '/' {
+			el.SelfClosing = true
+			i++
+			continue
+		}
+		// Attribute name.
+		nameStart := i
+		for i < n && src[i] != '=' && src[i] != '>' && src[i] != '/' && !isSpace(src[i]) {
+			i++
+		}
+		name := strings.ToLower(src[nameStart:i])
+		if name == "" {
+			i++
+			continue
+		}
+		// Skip whitespace before '='.
+		for i < n && isSpace(src[i]) {
+			i++
+		}
+		if i < n && src[i] == '=' {
+			i++
+			for i < n && isSpace(src[i]) {
+				i++
+			}
+			val, next := parseAttrValue(src, i)
+			el.Attrs[name] = val
+			i = next
+		} else {
+			el.Attrs[name] = ""
+		}
+	}
+	return el, n, true
+}
+
+func parseAttrValue(src string, i int) (string, int) {
+	n := len(src)
+	if i >= n {
+		return "", n
+	}
+	switch src[i] {
+	case '"', '\'':
+		quote := src[i]
+		i++
+		end := strings.IndexByte(src[i:], quote)
+		if end < 0 {
+			return src[i:], n
+		}
+		return src[i : i+end], i + end + 1
+	default:
+		start := i
+		for i < n && !isSpace(src[i]) && src[i] != '>' {
+			i++
+		}
+		return src[start:i], i
+	}
+}
+
+// captureBody returns the raw text until the matching close tag (case
+// insensitive), and the offset just past the close tag. A missing close
+// tag captures to end of input.
+func captureBody(src string, i int, tag string) (string, int) {
+	lowered := strings.ToLower(src)
+	close1 := "</" + tag + ">"
+	idx := strings.Index(lowered[i:], close1)
+	if idx < 0 {
+		// Tolerate "</tag " with attributes or whitespace before '>'.
+		alt := "</" + tag
+		idx = strings.Index(lowered[i:], alt)
+		if idx < 0 {
+			return src[i:], len(src)
+		}
+		gt := strings.IndexByte(src[i+idx:], '>')
+		if gt < 0 {
+			return src[i : i+idx], len(src)
+		}
+		return src[i : i+idx], i + idx + gt + 1
+	}
+	return src[i : i+idx], i + idx + len(close1)
+}
+
+func isNameByte(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '-'
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+// ByTag returns all elements with the given lowercase tag name.
+func (d *Document) ByTag(tag string) []Element {
+	var out []Element
+	for _, el := range d.Elements {
+		if el.Tag == tag {
+			out = append(out, el)
+		}
+	}
+	return out
+}
+
+// First returns the first element with the tag, or nil.
+func (d *Document) First(tag string) *Element {
+	for i := range d.Elements {
+		if d.Elements[i].Tag == tag {
+			return &d.Elements[i]
+		}
+	}
+	return nil
+}
+
+// InlineScripts returns the bodies of all script elements without a src
+// attribute.
+func (d *Document) InlineScripts() []string {
+	var out []string
+	for _, el := range d.ByTag("script") {
+		if _, ok := el.Attrs["src"]; !ok && strings.TrimSpace(el.Text) != "" {
+			out = append(out, el.Text)
+		}
+	}
+	return out
+}
+
+// ScriptSrcs returns the src attributes of all external script elements.
+func (d *Document) ScriptSrcs() []string {
+	var out []string
+	for _, el := range d.ByTag("script") {
+		if src, ok := el.Attrs["src"]; ok && src != "" {
+			out = append(out, strings.TrimSpace(src))
+		}
+	}
+	return out
+}
+
+// MetaRefresh returns the target URL of a <meta http-equiv="refresh">
+// element, or "" if none. Meta refresh is the final hop of the Figure 4
+// redirection chain.
+func (d *Document) MetaRefresh() string {
+	for _, el := range d.ByTag("meta") {
+		if !strings.EqualFold(el.Attrs["http-equiv"], "refresh") {
+			continue
+		}
+		content := el.Attrs["content"]
+		// Format: "5; url=http://target/".
+		if semi := strings.IndexByte(content, ';'); semi >= 0 {
+			rest := strings.TrimSpace(content[semi+1:])
+			lower := strings.ToLower(rest)
+			if strings.HasPrefix(lower, "url=") {
+				return strings.TrimSpace(rest[4:])
+			}
+		}
+	}
+	return ""
+}
+
+// Links returns the href attributes of all anchors.
+func (d *Document) Links() []string {
+	var out []string
+	for _, el := range d.ByTag("a") {
+		if href, ok := el.Attrs["href"]; ok && href != "" {
+			out = append(out, strings.TrimSpace(href))
+		}
+	}
+	return out
+}
+
+// Style is a parsed inline CSS style attribute.
+type Style map[string]string
+
+// ParseStyle parses "k: v; k2: v2" inline CSS into a map with lowercase
+// keys and trimmed values.
+func ParseStyle(s string) Style {
+	out := make(Style)
+	for _, decl := range strings.Split(s, ";") {
+		colon := strings.IndexByte(decl, ':')
+		if colon < 0 {
+			continue
+		}
+		k := strings.ToLower(strings.TrimSpace(decl[:colon]))
+		v := strings.TrimSpace(decl[colon+1:])
+		if k != "" && v != "" {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// PixelValue parses a CSS/attribute length like "1", "1px", " 24px " into
+// integer pixels. It returns (value, true) on success. Percentages and
+// other units return false.
+func PixelValue(s string) (int, bool) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	s = strings.TrimSuffix(s, "px")
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, false
+	}
+	neg := false
+	if s[0] == '-' {
+		neg = true
+		s = s[1:]
+	}
+	v := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int(c-'0')
+		if v > 1<<30 {
+			return 0, false
+		}
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}

@@ -1,0 +1,134 @@
+package httpsim
+
+import (
+	"io"
+	"net/http"
+	"strings"
+)
+
+// AsHTTPHandler adapts the virtual Internet onto a real net/http handler
+// using Host-header routing, so the whole synthetic universe can be served
+// from one listener:
+//
+//	srv := httptest.NewServer(httpsim.AsHTTPHandler(internet))
+//	curl -H 'Host: www.10khits.com' http://127.0.0.1:PORT/
+//
+// cmd/slumserve uses this to let a human poke the simulated exchanges and
+// malware pages with a real browser or curl; the integration tests use it
+// to prove the virtual handlers behave identically over a real TCP stack.
+func AsHTTPHandler(in *Internet) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		host := r.Host
+		if i := strings.IndexByte(host, ':'); i >= 0 {
+			host = host[:i]
+		}
+		scheme := "http"
+		if r.TLS != nil {
+			scheme = "https"
+		}
+		url := scheme + "://" + host + r.URL.RequestURI()
+		resp, err := in.RoundTrip(&Request{
+			Method:    r.Method,
+			URL:       url,
+			UserAgent: r.UserAgent(),
+			Referrer:  r.Referer(),
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		for k, v := range resp.Header {
+			w.Header().Set(k, v)
+		}
+		if resp.ContentType != "" {
+			w.Header().Set("Content-Type", resp.ContentType)
+		}
+		if resp.Location != "" {
+			w.Header().Set("Location", resp.Location)
+		}
+		w.WriteHeader(resp.StatusCode)
+		if len(resp.Body) > 0 {
+			w.Write(resp.Body)
+		}
+	})
+}
+
+// RealTransport adapts a net/http client into a RoundTripper so the
+// simulator's Client (and therefore the crawler) can also fetch from a real
+// HTTP server — used by the integration tests that round-trip the universe
+// through AsHTTPHandler.
+type RealTransport struct {
+	// Base rewrites request URLs onto a real listener: the request's host
+	// moves into the Host header and Base supplies scheme://addr. Empty
+	// Base sends requests unmodified.
+	Base string
+	// HTTPClient is the underlying client; http.DefaultClient if nil.
+	// Redirect following must be disabled on it (the simulator's Client
+	// owns redirect logic); RoundTrip handles that by using a
+	// CheckRedirect that stops at the first hop.
+	HTTPClient *http.Client
+}
+
+var _ RoundTripper = (*RealTransport)(nil)
+
+// RoundTrip performs one exchange against the real server.
+func (t *RealTransport) RoundTrip(req *Request) (*Response, error) {
+	client := t.HTTPClient
+	if client == nil {
+		client = &http.Client{}
+	}
+	// Never follow redirects here: chain walking belongs to Client.
+	noFollow := *client
+	noFollow.CheckRedirect = func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}
+
+	target := req.URL
+	hostHeader := ""
+	if t.Base != "" {
+		p := strings.SplitN(req.URL, "://", 2)
+		if len(p) == 2 {
+			slash := strings.IndexByte(p[1], '/')
+			if slash < 0 {
+				hostHeader = p[1]
+				target = t.Base + "/"
+			} else {
+				hostHeader = p[1][:slash]
+				target = t.Base + p[1][slash:]
+			}
+		}
+	}
+
+	hreq, err := http.NewRequest(req.method(), target, nil)
+	if err != nil {
+		return nil, err
+	}
+	if hostHeader != "" {
+		hreq.Host = hostHeader
+	}
+	if req.UserAgent != "" {
+		hreq.Header.Set("User-Agent", req.UserAgent)
+	}
+	if req.Referrer != "" {
+		hreq.Header.Set("Referer", req.Referrer)
+	}
+	for k, v := range req.Header {
+		hreq.Header.Set(k, v)
+	}
+	hresp, err := noFollow.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(hresp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	return &Response{
+		StatusCode:  hresp.StatusCode,
+		ContentType: hresp.Header.Get("Content-Type"),
+		Location:    hresp.Header.Get("Location"),
+		Body:        body,
+		Latency:     syntheticLatency(req.URL),
+	}, nil
+}

@@ -1,0 +1,1296 @@
+package jsengine
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"math"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Trace is the behaviour record produced by sandbox execution. It is what
+// the heuristic scanner inspects to classify a script.
+type Trace struct {
+	// Writes collects HTML fragments passed to document.write/writeln —
+	// the vehicle for dynamically injected iframes (paper §V-A, Code 3).
+	Writes []string
+	// Navigations collects URLs assigned to window.location(.href) — the
+	// vehicle for suspicious redirection and deceptive downloads (§V-B,
+	// §V-C).
+	Navigations []string
+	// Popups collects window.open targets — the ad-scam behaviour of the
+	// ExternalInterface Flash glue (§V-D).
+	Popups []string
+	// ExternalCalls collects ExternalInterface.call invocations.
+	ExternalCalls []string
+	// FingerprintReads collects fingerprinting API touches (navigator.*,
+	// screen.*, mouse/keyboard event hooks) — the "user behavior
+	// fingerprinting" the paper observes (§IV-A-1).
+	FingerprintReads []string
+	// Evals counts eval() invocations; EvalDepth is the deepest nesting —
+	// a direct measure of obfuscation layering.
+	Evals     int
+	EvalDepth int
+	// Timeouts counts setTimeout registrations (each is also executed).
+	Timeouts int
+	// Downloads collects URLs or data: payload names passed through
+	// download-ish sinks (location assignments ending in .exe, data:
+	// hrefs routed via navigation).
+	Downloads []string
+	// Steps is the number of interpreter steps consumed.
+	Steps int
+}
+
+// Interpreter errors.
+var (
+	errStepLimit = errors.New("jsengine: step limit exceeded")
+	errEvalDepth = errors.New("jsengine: eval depth limit exceeded")
+	errWriteCap  = errors.New("jsengine: document.write volume cap exceeded")
+)
+
+const (
+	maxSteps      = 500000
+	maxEvalDepth  = 16
+	maxWriteBytes = 2 << 20
+	maxStringLen  = 4 << 20
+)
+
+// value is a JS runtime value.
+type value interface{}
+
+// jsUndefined is the undefined sentinel.
+type jsUndefined struct{}
+
+// object is a property bag.
+type object struct {
+	props map[string]value
+	// class tags special host objects: "location", "window", "document",
+	// "navigator", "screen", "element", "externalinterface".
+	class string
+}
+
+func newObject(class string) *object {
+	return &object{props: make(map[string]value), class: class}
+}
+
+// nativeFn is a built-in function.
+type nativeFn struct {
+	name string
+	fn   func(in *interp, this value, args []value) (value, error)
+}
+
+// userFn is a script-defined function (closure over its defining env).
+type userFn struct {
+	params []string
+	body   []node
+	env    *env
+}
+
+// jsArray is an array value.
+type jsArray struct{ elems []value }
+
+// env is a lexical scope.
+type env struct {
+	vars   map[string]value
+	parent *env
+}
+
+func (e *env) lookup(name string) (value, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+func (e *env) set(name string, v value) {
+	for s := e; s != nil; s = s.parent {
+		if _, ok := s.vars[name]; ok {
+			s.vars[name] = v
+			return
+		}
+	}
+	// Undeclared assignment creates a global, as in sloppy-mode JS.
+	root := e
+	for root.parent != nil {
+		root = root.parent
+	}
+	root.vars[name] = v
+}
+
+func (e *env) declare(name string, v value) { e.vars[name] = v }
+
+// interp executes a parsed program and accumulates a Trace.
+type interp struct {
+	trace      *Trace
+	global     *env
+	evalDepth  int
+	writeBytes int
+	location   *object
+	document   *object
+	window     *object
+}
+
+// Execute parses and runs src in a fresh sandbox, returning the behaviour
+// trace. Execution errors after partial progress still return the partial
+// trace — malware frequently errors out after its payload has fired, and
+// the trace up to that point is exactly what we want.
+func Execute(src string) (*Trace, error) {
+	prog, err := parseProgram(src)
+	if err != nil {
+		return &Trace{}, err
+	}
+	in := newInterp()
+	err = in.runProgram(prog)
+	return in.trace, err
+}
+
+func newInterp() *interp {
+	in := &interp{trace: &Trace{}}
+	in.global = &env{vars: make(map[string]value)}
+	in.installGlobals()
+	return in
+}
+
+func (in *interp) runProgram(stmts []node) error {
+	// Hoist function declarations first, as JS does.
+	for _, s := range stmts {
+		if f, ok := s.(stmtFunc); ok {
+			in.global.declare(f.name, &userFn{params: f.params, body: f.body, env: in.global})
+		}
+	}
+	for _, s := range stmts {
+		if _, ok := s.(stmtFunc); ok {
+			continue
+		}
+		if _, err := in.execStmt(s, in.global); err != nil {
+			if errors.As(err, &returnSignal{}) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// returnSignal unwinds a user-function return through execStmt.
+type returnSignal struct{ val value }
+
+func (returnSignal) Error() string { return "return" }
+
+// breakSignal and continueSignal unwind loop control through execStmt.
+type breakSignal struct{}
+
+func (breakSignal) Error() string { return "break" }
+
+type continueSignal struct{}
+
+func (continueSignal) Error() string { return "continue" }
+
+func (in *interp) step() error {
+	in.trace.Steps++
+	if in.trace.Steps > maxSteps {
+		return errStepLimit
+	}
+	return nil
+}
+
+func (in *interp) execStmt(s node, e *env) (value, error) {
+	if err := in.step(); err != nil {
+		return nil, err
+	}
+	switch st := s.(type) {
+	case stmtVar:
+		var v value = jsUndefined{}
+		if st.init != nil {
+			var err error
+			v, err = in.eval(st.init, e)
+			if err != nil {
+				return nil, err
+			}
+		}
+		e.declare(st.name, v)
+		return nil, nil
+	case stmtAssign:
+		return nil, in.execAssign(st, e)
+	case stmtExpr:
+		_, err := in.eval(st.expr, e)
+		return nil, err
+	case stmtIf:
+		cond, err := in.eval(st.cond, e)
+		if err != nil {
+			return nil, err
+		}
+		branch := st.then
+		if !truthy(cond) {
+			branch = st.alt
+		}
+		for _, bs := range branch {
+			if _, err := in.execStmt(bs, e); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	case stmtFunc:
+		e.declare(st.name, &userFn{params: st.params, body: st.body, env: e})
+		return nil, nil
+	case stmtReturn:
+		var v value = jsUndefined{}
+		if st.expr != nil {
+			var err error
+			v, err = in.eval(st.expr, e)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return nil, returnSignal{val: v}
+	case stmtBreak:
+		return nil, breakSignal{}
+	case stmtContinue:
+		return nil, continueSignal{}
+	case stmtTry:
+		err := in.execBlock(st.body, e)
+		if err == nil {
+			return nil, nil
+		}
+		// Control-flow signals and resource-limit aborts pass through;
+		// only script-level errors are catchable (as in real JS, where
+		// the VM's own limits cannot be caught either).
+		switch err.(type) {
+		case returnSignal, breakSignal, continueSignal:
+			return nil, err
+		}
+		if errors.Is(err, errStepLimit) || errors.Is(err, errEvalDepth) || errors.Is(err, errWriteCap) {
+			return nil, err
+		}
+		if st.handler == nil {
+			return nil, nil // try without catch swallows the error
+		}
+		scope := &env{vars: make(map[string]value), parent: e}
+		if st.catchName != "" {
+			scope.declare(st.catchName, err.Error())
+		}
+		return nil, in.execBlock(st.handler, scope)
+	case stmtWhile:
+		for {
+			// Each iteration costs a step even when the body is empty,
+			// so `while(true){}` cannot outrun the limiter.
+			if err := in.step(); err != nil {
+				return nil, err
+			}
+			cond, err := in.eval(st.cond, e)
+			if err != nil {
+				return nil, err
+			}
+			if !truthy(cond) {
+				return nil, nil
+			}
+			if stop, err := in.execLoopBody(st.body, e); stop || err != nil {
+				return nil, err
+			}
+		}
+	case stmtFor:
+		if st.init != nil {
+			if _, err := in.execStmt(st.init, e); err != nil {
+				return nil, err
+			}
+		}
+		for {
+			if err := in.step(); err != nil {
+				return nil, err
+			}
+			if st.cond != nil {
+				cond, err := in.eval(st.cond, e)
+				if err != nil {
+					return nil, err
+				}
+				if !truthy(cond) {
+					return nil, nil
+				}
+			}
+			if stop, err := in.execLoopBody(st.body, e); stop || err != nil {
+				return nil, err
+			}
+			if st.post != nil {
+				if _, err := in.execStmt(st.post, e); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return nil, fmt.Errorf("jsengine: unknown statement %T", s)
+}
+
+// execBlock runs statements in order, returning the first error.
+func (in *interp) execBlock(body []node, e *env) error {
+	for _, s := range body {
+		if _, err := in.execStmt(s, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// execLoopBody runs one loop iteration, translating break into stop and
+// continue into a normal iteration end. Returns and real errors pass
+// through.
+func (in *interp) execLoopBody(body []node, e *env) (stop bool, err error) {
+	for _, bs := range body {
+		if _, err := in.execStmt(bs, e); err != nil {
+			switch err.(type) {
+			case breakSignal:
+				return true, nil
+			case continueSignal:
+				return false, nil
+			default:
+				return true, err
+			}
+		}
+	}
+	return false, nil
+}
+
+func (in *interp) execAssign(st stmtAssign, e *env) error {
+	v, err := in.eval(st.value, e)
+	if err != nil {
+		return err
+	}
+	switch target := st.target.(type) {
+	case identExpr:
+		if st.op != "=" {
+			old, _ := e.lookup(target.name)
+			v = applyCompound(st.op, old, v)
+		}
+		// Bare `location = url` is a navigation.
+		if target.name == "location" {
+			in.recordNavigation(toString(v))
+			return nil
+		}
+		e.set(target.name, v)
+		return nil
+	case memberExpr:
+		obj, err := in.eval(target.obj, e)
+		if err != nil {
+			return err
+		}
+		return in.setMember(obj, target.prop, v, st.op)
+	case indexExpr:
+		obj, err := in.eval(target.obj, e)
+		if err != nil {
+			return err
+		}
+		idx, err := in.eval(target.index, e)
+		if err != nil {
+			return err
+		}
+		if arr, ok := obj.(*jsArray); ok {
+			i := int(toNumber(idx))
+			for len(arr.elems) <= i {
+				arr.elems = append(arr.elems, jsUndefined{})
+			}
+			if i >= 0 {
+				arr.elems[i] = v
+			}
+			return nil
+		}
+		if o, ok := obj.(*object); ok {
+			o.props[toString(idx)] = v
+		}
+		return nil
+	}
+	return fmt.Errorf("jsengine: bad assignment target %T", st.target)
+}
+
+func applyCompound(op string, old, v value) value {
+	switch op {
+	case "+=":
+		if _, ok := old.(string); ok {
+			return toString(old) + toString(v)
+		}
+		if _, ok := v.(string); ok {
+			return toString(old) + toString(v)
+		}
+		return toNumber(old) + toNumber(v)
+	case "-=":
+		return toNumber(old) - toNumber(v)
+	}
+	return v
+}
+
+func (in *interp) setMember(obj value, prop string, v value, op string) error {
+	o, ok := obj.(*object)
+	if !ok {
+		return nil // writing a property on a primitive: silently ignored
+	}
+	if op != "=" {
+		v = applyCompound(op, o.props[prop], v)
+	}
+	switch {
+	case o.class == "location" && (prop == "href" || prop == "replace"):
+		in.recordNavigation(toString(v))
+		return nil
+	case (o.class == "window" || o.class == "document") && prop == "location":
+		in.recordNavigation(toString(v))
+		return nil
+	case o.class == "document" && strings.HasPrefix(prop, "onmouse"):
+		in.trace.FingerprintReads = append(in.trace.FingerprintReads, "document."+prop)
+	case o.class == "document" && strings.HasPrefix(prop, "onkey"):
+		in.trace.FingerprintReads = append(in.trace.FingerprintReads, "document."+prop)
+	}
+	o.props[prop] = v
+	return nil
+}
+
+func (in *interp) recordNavigation(target string) {
+	in.trace.Navigations = append(in.trace.Navigations, target)
+	lower := strings.ToLower(target)
+	if strings.Contains(lower, ".exe") || strings.HasPrefix(lower, "data:") {
+		in.trace.Downloads = append(in.trace.Downloads, target)
+	}
+}
+
+func (in *interp) eval(n node, e *env) (value, error) {
+	if err := in.step(); err != nil {
+		return nil, err
+	}
+	switch x := n.(type) {
+	case stringExpr:
+		return x.val, nil
+	case numberExpr:
+		return x.val, nil
+	case boolExpr:
+		return x.val, nil
+	case identExpr:
+		if x.name == "undefined" {
+			return jsUndefined{}, nil
+		}
+		if v, ok := e.lookup(x.name); ok {
+			return v, nil
+		}
+		// Unknown identifiers evaluate to undefined instead of throwing:
+		// malware references browser APIs we do not model, and aborting
+		// there would hide the behaviour that follows.
+		return jsUndefined{}, nil
+	case memberExpr:
+		obj, err := in.eval(x.obj, e)
+		if err != nil {
+			return nil, err
+		}
+		return in.getMember(obj, x.prop)
+	case indexExpr:
+		obj, err := in.eval(x.obj, e)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := in.eval(x.index, e)
+		if err != nil {
+			return nil, err
+		}
+		if arr, ok := obj.(*jsArray); ok {
+			i := int(toNumber(idx))
+			if i >= 0 && i < len(arr.elems) {
+				return arr.elems[i], nil
+			}
+			return jsUndefined{}, nil
+		}
+		if s, ok := obj.(string); ok {
+			i := int(toNumber(idx))
+			if i >= 0 && i < len(s) {
+				return s[i : i+1], nil
+			}
+			return jsUndefined{}, nil
+		}
+		return in.getMember(obj, toString(idx))
+	case callExpr:
+		return in.evalCall(x, e)
+	case newExpr:
+		// `new X(...)`: model as a plain object; Date gets a getTime.
+		o := newObject("object")
+		if id, ok := x.ctor.(identExpr); ok && id.name == "Date" {
+			o.props["getTime"] = &nativeFn{name: "getTime", fn: func(*interp, value, []value) (value, error) {
+				return float64(1450000000000), nil // fixed sandbox clock
+			}}
+		}
+		return o, nil
+	case binExpr:
+		return in.evalBin(x, e)
+	case unaryExpr:
+		v, err := in.eval(x.x, e)
+		if err != nil {
+			return nil, err
+		}
+		switch x.op {
+		case "!":
+			return !truthy(v), nil
+		case "-":
+			return -toNumber(v), nil
+		case "typeof":
+			return typeOf(v), nil
+		}
+		return jsUndefined{}, nil
+	case arrayExpr:
+		arr := &jsArray{elems: make([]value, 0, len(x.elems))}
+		for _, el := range x.elems {
+			v, err := in.eval(el, e)
+			if err != nil {
+				return nil, err
+			}
+			arr.elems = append(arr.elems, v)
+		}
+		return arr, nil
+	case funcExpr:
+		return &userFn{params: x.params, body: x.body, env: e}, nil
+	case objectExpr:
+		obj := newObject("object")
+		for i, key := range x.keys {
+			v, err := in.eval(x.vals[i], e)
+			if err != nil {
+				return nil, err
+			}
+			obj.props[key] = v
+		}
+		return obj, nil
+	case condExpr:
+		c, err := in.eval(x.cond, e)
+		if err != nil {
+			return nil, err
+		}
+		if truthy(c) {
+			return in.eval(x.then, e)
+		}
+		return in.eval(x.alt, e)
+	case incExpr:
+		old, err := in.eval(x.target, e)
+		if err != nil {
+			return nil, err
+		}
+		delta := 1.0
+		if x.op == "--" {
+			delta = -1
+		}
+		updated := toNumber(old) + delta
+		if err := in.execAssign(stmtAssign{target: x.target, op: "=", value: numberExpr{val: updated}}, e); err != nil {
+			return nil, err
+		}
+		if x.prefix {
+			return updated, nil
+		}
+		return toNumber(old), nil
+	}
+	return nil, fmt.Errorf("jsengine: cannot evaluate %T", n)
+}
+
+func (in *interp) evalBin(x binExpr, e *env) (value, error) {
+	l, err := in.eval(x.l, e)
+	if err != nil {
+		return nil, err
+	}
+	// Short-circuit logic operators.
+	switch x.op {
+	case "&&":
+		if !truthy(l) {
+			return l, nil
+		}
+		return in.eval(x.r, e)
+	case "||":
+		if truthy(l) {
+			return l, nil
+		}
+		return in.eval(x.r, e)
+	}
+	r, err := in.eval(x.r, e)
+	if err != nil {
+		return nil, err
+	}
+	switch x.op {
+	case "+":
+		if _, ok := l.(string); ok {
+			s := toString(l) + toString(r)
+			if len(s) > maxStringLen {
+				return nil, errWriteCap
+			}
+			return s, nil
+		}
+		if _, ok := r.(string); ok {
+			s := toString(l) + toString(r)
+			if len(s) > maxStringLen {
+				return nil, errWriteCap
+			}
+			return s, nil
+		}
+		return toNumber(l) + toNumber(r), nil
+	case "-":
+		return toNumber(l) - toNumber(r), nil
+	case "*":
+		return toNumber(l) * toNumber(r), nil
+	case "/":
+		return toNumber(l) / toNumber(r), nil
+	case "%":
+		return math.Mod(toNumber(l), toNumber(r)), nil
+	case "==", "===":
+		return looseEq(l, r), nil
+	case "!=", "!==":
+		return !looseEq(l, r), nil
+	case "<":
+		return toNumber(l) < toNumber(r), nil
+	case ">":
+		return toNumber(l) > toNumber(r), nil
+	case "<=":
+		return toNumber(l) <= toNumber(r), nil
+	case ">=":
+		return toNumber(l) >= toNumber(r), nil
+	}
+	return jsUndefined{}, nil
+}
+
+func (in *interp) evalCall(x callExpr, e *env) (value, error) {
+	// Evaluate callee; capture `this` for method calls.
+	var this value = jsUndefined{}
+	var fn value
+	var err error
+	if m, ok := x.fn.(memberExpr); ok {
+		this, err = in.eval(m.obj, e)
+		if err != nil {
+			return nil, err
+		}
+		fn, err = in.getMember(this, m.prop)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		fn, err = in.eval(x.fn, e)
+		if err != nil {
+			return nil, err
+		}
+	}
+	args := make([]value, 0, len(x.args))
+	for _, a := range x.args {
+		v, err := in.eval(a, e)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, v)
+	}
+	return in.invoke(fn, this, args)
+}
+
+func (in *interp) invoke(fn value, this value, args []value) (value, error) {
+	switch f := fn.(type) {
+	case *nativeFn:
+		return f.fn(in, this, args)
+	case *userFn:
+		scope := &env{vars: make(map[string]value), parent: f.env}
+		for i, p := range f.params {
+			if i < len(args) {
+				scope.declare(p, args[i])
+			} else {
+				scope.declare(p, jsUndefined{})
+			}
+		}
+		for _, s := range f.body {
+			if fdecl, ok := s.(stmtFunc); ok {
+				scope.declare(fdecl.name, &userFn{params: fdecl.params, body: fdecl.body, env: scope})
+			}
+		}
+		for _, s := range f.body {
+			if _, ok := s.(stmtFunc); ok {
+				continue
+			}
+			if _, err := in.execStmt(s, scope); err != nil {
+				var rs returnSignal
+				if errors.As(err, &rs) {
+					return rs.val, nil
+				}
+				return nil, err
+			}
+		}
+		return jsUndefined{}, nil
+	case jsUndefined:
+		// Calling an unmodeled API: a no-op returning undefined.
+		return jsUndefined{}, nil
+	}
+	return jsUndefined{}, nil
+}
+
+// --- conversions ---
+
+func truthy(v value) bool {
+	switch x := v.(type) {
+	case nil, jsUndefined:
+		return false
+	case bool:
+		return x
+	case float64:
+		return x != 0 && !math.IsNaN(x)
+	case string:
+		return x != ""
+	default:
+		return true
+	}
+}
+
+func toString(v value) string {
+	switch x := v.(type) {
+	case nil, jsUndefined:
+		return "undefined"
+	case string:
+		return x
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case float64:
+		if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+			return strconv.FormatInt(int64(x), 10)
+		}
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case *jsArray:
+		parts := make([]string, len(x.elems))
+		for i, el := range x.elems {
+			parts[i] = toString(el)
+		}
+		return strings.Join(parts, ",")
+	case *object:
+		return "[object Object]"
+	case *nativeFn:
+		return "function " + x.name + "() { [native code] }"
+	case *userFn:
+		return "function () { ... }"
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+func toNumber(v value) float64 {
+	switch x := v.(type) {
+	case float64:
+		return x
+	case bool:
+		if x {
+			return 1
+		}
+		return 0
+	case string:
+		n, err := strconv.ParseFloat(strings.TrimSpace(x), 64)
+		if err != nil {
+			return math.NaN()
+		}
+		return n
+	default:
+		return math.NaN()
+	}
+}
+
+func looseEq(l, r value) bool {
+	switch lv := l.(type) {
+	case string:
+		return lv == toString(r)
+	case float64:
+		return lv == toNumber(r)
+	case bool:
+		if rb, ok := r.(bool); ok {
+			return lv == rb
+		}
+		return toNumber(l) == toNumber(r)
+	case jsUndefined:
+		_, rUndef := r.(jsUndefined)
+		return rUndef || r == nil
+	}
+	return l == r
+}
+
+func typeOf(v value) string {
+	switch v.(type) {
+	case jsUndefined, nil:
+		return "undefined"
+	case string:
+		return "string"
+	case float64:
+		return "number"
+	case bool:
+		return "boolean"
+	case *nativeFn, *userFn:
+		return "function"
+	default:
+		return "object"
+	}
+}
+
+// --- host environment ---
+
+// fingerprintProps are property reads that count as fingerprinting.
+var fingerprintProps = map[string]bool{
+	"navigator.useragent": true, "navigator.platform": true,
+	"navigator.language": true, "navigator.plugins": true,
+	"screen.width": true, "screen.height": true, "screen.colordepth": true,
+}
+
+// fingerprintEvents are event names whose registration counts as behaviour
+// fingerprinting (the paper observed mouse-movement recording).
+var fingerprintEvents = map[string]bool{
+	"mousemove": true, "mousedown": true, "mouseup": true,
+	"keydown": true, "keypress": true, "keyup": true, "scroll": true,
+}
+
+func (in *interp) getMember(obj value, prop string) (value, error) {
+	o, ok := obj.(*object)
+	if !ok {
+		if s, isStr := obj.(string); isStr {
+			return in.stringMember(s, prop)
+		}
+		if arr, isArr := obj.(*jsArray); isArr && prop == "length" {
+			return float64(len(arr.elems)), nil
+		}
+		return jsUndefined{}, nil
+	}
+	if o.class == "navigator" || o.class == "screen" {
+		key := o.class + "." + strings.ToLower(prop)
+		if fingerprintProps[key] {
+			in.trace.FingerprintReads = append(in.trace.FingerprintReads, key)
+		}
+	}
+	if v, ok := o.props[prop]; ok {
+		return v, nil
+	}
+	return jsUndefined{}, nil
+}
+
+func (in *interp) stringMember(s, prop string) (value, error) {
+	switch prop {
+	case "length":
+		return float64(len(s)), nil
+	case "charAt":
+		return &nativeFn{name: "charAt", fn: func(_ *interp, _ value, args []value) (value, error) {
+			i := 0
+			if len(args) > 0 {
+				i = int(toNumber(args[0]))
+			}
+			if i < 0 || i >= len(s) {
+				return "", nil
+			}
+			return s[i : i+1], nil
+		}}, nil
+	case "charCodeAt":
+		return &nativeFn{name: "charCodeAt", fn: func(_ *interp, _ value, args []value) (value, error) {
+			i := 0
+			if len(args) > 0 {
+				i = int(toNumber(args[0]))
+			}
+			if i < 0 || i >= len(s) {
+				return math.NaN(), nil
+			}
+			return float64(s[i]), nil
+		}}, nil
+	case "substring", "substr", "slice":
+		return &nativeFn{name: prop, fn: func(_ *interp, _ value, args []value) (value, error) {
+			start, end := 0, len(s)
+			if len(args) > 0 {
+				start = clamp(int(toNumber(args[0])), 0, len(s))
+			}
+			if len(args) > 1 {
+				if prop == "substr" {
+					end = clamp(start+int(toNumber(args[1])), start, len(s))
+				} else {
+					end = clamp(int(toNumber(args[1])), 0, len(s))
+				}
+			}
+			if start > end {
+				start, end = end, start
+			}
+			return s[start:end], nil
+		}}, nil
+	case "split":
+		return &nativeFn{name: "split", fn: func(_ *interp, _ value, args []value) (value, error) {
+			sep := ""
+			if len(args) > 0 {
+				sep = toString(args[0])
+			}
+			parts := strings.Split(s, sep)
+			arr := &jsArray{elems: make([]value, len(parts))}
+			for i, p := range parts {
+				arr.elems[i] = p
+			}
+			return arr, nil
+		}}, nil
+	case "replace":
+		return &nativeFn{name: "replace", fn: func(_ *interp, _ value, args []value) (value, error) {
+			if len(args) < 2 {
+				return s, nil
+			}
+			return strings.Replace(s, toString(args[0]), toString(args[1]), 1), nil
+		}}, nil
+	case "indexOf":
+		return &nativeFn{name: "indexOf", fn: func(_ *interp, _ value, args []value) (value, error) {
+			if len(args) < 1 {
+				return float64(-1), nil
+			}
+			return float64(strings.Index(s, toString(args[0]))), nil
+		}}, nil
+	case "toLowerCase":
+		return &nativeFn{name: "toLowerCase", fn: func(_ *interp, _ value, _ []value) (value, error) {
+			return strings.ToLower(s), nil
+		}}, nil
+	case "toUpperCase":
+		return &nativeFn{name: "toUpperCase", fn: func(_ *interp, _ value, _ []value) (value, error) {
+			return strings.ToUpper(s), nil
+		}}, nil
+	}
+	return jsUndefined{}, nil
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func (in *interp) installGlobals() {
+	g := in.global
+
+	// location object (shared by window.location and document.location).
+	in.location = newObject("location")
+	in.location.props["href"] = "http://sandbox.invalid/"
+	in.location.props["hostname"] = "sandbox.invalid"
+	in.location.props["protocol"] = "http:"
+
+	// document.
+	in.document = newObject("document")
+	in.document.props["location"] = in.location
+	in.document.props["cookie"] = ""
+	in.document.props["referrer"] = ""
+	in.document.props["write"] = &nativeFn{name: "write", fn: nativeDocumentWrite}
+	in.document.props["writeln"] = &nativeFn{name: "writeln", fn: nativeDocumentWrite}
+	in.document.props["getElementById"] = &nativeFn{name: "getElementById", fn: func(in *interp, _ value, _ []value) (value, error) {
+		el := newObject("element")
+		el.props["style"] = newObject("style")
+		return el, nil
+	}}
+	in.document.props["createElement"] = &nativeFn{name: "createElement", fn: func(in *interp, _ value, args []value) (value, error) {
+		el := newObject("element")
+		el.props["style"] = newObject("style")
+		if len(args) > 0 {
+			el.props["tagName"] = strings.ToUpper(toString(args[0]))
+		}
+		return el, nil
+	}}
+	in.document.props["getElementsByTagName"] = &nativeFn{name: "getElementsByTagName", fn: func(in *interp, _ value, _ []value) (value, error) {
+		el := newObject("element")
+		el.props["style"] = newObject("style")
+		return &jsArray{elems: []value{el}}, nil
+	}}
+	in.document.props["addEventListener"] = &nativeFn{name: "addEventListener", fn: nativeAddEventListener}
+	in.document.props["attachEvent"] = &nativeFn{name: "attachEvent", fn: nativeAddEventListener}
+
+	// navigator and screen.
+	nav := newObject("navigator")
+	nav.props["userAgent"] = "Mozilla/5.0 (Windows NT 6.1; rv:38.0) SandboxVM"
+	nav.props["platform"] = "Win32"
+	nav.props["language"] = "en-US"
+	nav.props["plugins"] = &jsArray{}
+	scr := newObject("screen")
+	scr.props["width"] = float64(1920)
+	scr.props["height"] = float64(1080)
+	scr.props["colorDepth"] = float64(24)
+
+	// window: aliases the global scope for the APIs we model.
+	in.window = newObject("window")
+	in.window.props["location"] = in.location
+	in.window.props["document"] = in.document
+	in.window.props["navigator"] = nav
+	in.window.props["screen"] = scr
+	in.window.props["open"] = &nativeFn{name: "open", fn: nativeWindowOpen}
+	in.window.props["setTimeout"] = &nativeFn{name: "setTimeout", fn: nativeSetTimeout}
+	in.window.props["setInterval"] = &nativeFn{name: "setInterval", fn: nativeSetTimeout}
+	in.window.props["addEventListener"] = &nativeFn{name: "addEventListener", fn: nativeAddEventListener}
+	in.window.props["attachEvent"] = &nativeFn{name: "attachEvent", fn: nativeAddEventListener}
+
+	ext := newObject("externalinterface")
+	ext.props["call"] = &nativeFn{name: "call", fn: func(in *interp, _ value, args []value) (value, error) {
+		name := ""
+		if len(args) > 0 {
+			name = toString(args[0])
+		}
+		in.trace.ExternalCalls = append(in.trace.ExternalCalls, name)
+		return jsUndefined{}, nil
+	}}
+
+	stringObj := newObject("object")
+	stringObj.props["fromCharCode"] = &nativeFn{name: "fromCharCode", fn: func(_ *interp, _ value, args []value) (value, error) {
+		var b strings.Builder
+		for _, a := range args {
+			b.WriteRune(rune(int(toNumber(a))))
+		}
+		return b.String(), nil
+	}}
+
+	mathObj := newObject("object")
+	mathObj.props["floor"] = &nativeFn{name: "floor", fn: func(_ *interp, _ value, args []value) (value, error) {
+		if len(args) == 0 {
+			return math.NaN(), nil
+		}
+		return math.Floor(toNumber(args[0])), nil
+	}}
+	mathObj.props["random"] = &nativeFn{name: "random", fn: func(_ *interp, _ value, _ []value) (value, error) {
+		return 0.5, nil // deterministic sandbox: same trace every run
+	}}
+	mathObj.props["abs"] = &nativeFn{name: "abs", fn: func(_ *interp, _ value, args []value) (value, error) {
+		if len(args) == 0 {
+			return math.NaN(), nil
+		}
+		return math.Abs(toNumber(args[0])), nil
+	}}
+
+	g.declare("window", in.window)
+	g.declare("self", in.window)
+	g.declare("top", in.window)
+	g.declare("document", in.document)
+	g.declare("location", in.location)
+	g.declare("navigator", nav)
+	g.declare("screen", scr)
+	g.declare("ExternalInterface", ext)
+	g.declare("String", stringObj)
+	g.declare("Math", mathObj)
+	g.declare("setTimeout", in.window.props["setTimeout"])
+	g.declare("setInterval", in.window.props["setInterval"])
+	g.declare("addEventListener", in.window.props["addEventListener"])
+	g.declare("open", in.window.props["open"])
+
+	g.declare("eval", &nativeFn{name: "eval", fn: nativeEval})
+	g.declare("unescape", &nativeFn{name: "unescape", fn: nativeUnescape})
+	g.declare("escape", &nativeFn{name: "escape", fn: nativeEscape})
+	g.declare("decodeURIComponent", &nativeFn{name: "decodeURIComponent", fn: nativeUnescape})
+	g.declare("encodeURIComponent", &nativeFn{name: "encodeURIComponent", fn: nativeEscape})
+	g.declare("atob", &nativeFn{name: "atob", fn: func(_ *interp, _ value, args []value) (value, error) {
+		if len(args) == 0 {
+			return "", nil
+		}
+		dec, err := base64.StdEncoding.DecodeString(toString(args[0]))
+		if err != nil {
+			return "", nil // invalid base64 decodes to empty, not an abort
+		}
+		return string(dec), nil
+	}})
+	g.declare("btoa", &nativeFn{name: "btoa", fn: func(_ *interp, _ value, args []value) (value, error) {
+		if len(args) == 0 {
+			return "", nil
+		}
+		return base64.StdEncoding.EncodeToString([]byte(toString(args[0]))), nil
+	}})
+	g.declare("parseInt", &nativeFn{name: "parseInt", fn: func(_ *interp, _ value, args []value) (value, error) {
+		if len(args) == 0 {
+			return math.NaN(), nil
+		}
+		base := 10
+		if len(args) > 1 {
+			if b := int(toNumber(args[1])); b >= 2 && b <= 36 {
+				base = b
+			}
+		}
+		s := strings.TrimSpace(toString(args[0]))
+		end := 0
+		for end < len(s) && isDigitInBase(s[end], base) {
+			end++
+		}
+		if end == 0 {
+			return math.NaN(), nil
+		}
+		v, err := strconv.ParseInt(s[:end], base, 64)
+		if err != nil {
+			return math.NaN(), nil
+		}
+		return float64(v), nil
+	}})
+	g.declare("alert", &nativeFn{name: "alert", fn: func(_ *interp, _ value, _ []value) (value, error) {
+		return jsUndefined{}, nil
+	}})
+	g.declare("console", func() value {
+		c := newObject("object")
+		c.props["log"] = &nativeFn{name: "log", fn: func(_ *interp, _ value, _ []value) (value, error) {
+			return jsUndefined{}, nil
+		}}
+		return c
+	}())
+}
+
+func isDigitInBase(c byte, base int) bool {
+	var d int
+	switch {
+	case c >= '0' && c <= '9':
+		d = int(c - '0')
+	case c >= 'a' && c <= 'z':
+		d = int(c-'a') + 10
+	case c >= 'A' && c <= 'Z':
+		d = int(c-'A') + 10
+	case c == '-' || c == '+':
+		return false
+	default:
+		return false
+	}
+	return d < base
+}
+
+func nativeDocumentWrite(in *interp, _ value, args []value) (value, error) {
+	var b strings.Builder
+	for _, a := range args {
+		b.WriteString(toString(a))
+	}
+	s := b.String()
+	in.writeBytes += len(s)
+	if in.writeBytes > maxWriteBytes {
+		return nil, errWriteCap
+	}
+	in.trace.Writes = append(in.trace.Writes, s)
+	return jsUndefined{}, nil
+}
+
+func nativeWindowOpen(in *interp, _ value, args []value) (value, error) {
+	target := ""
+	if len(args) > 0 {
+		target = toString(args[0])
+	}
+	in.trace.Popups = append(in.trace.Popups, target)
+	w := newObject("window")
+	w.props["location"] = in.location
+	return w, nil
+}
+
+func nativeSetTimeout(in *interp, _ value, args []value) (value, error) {
+	in.trace.Timeouts++
+	if len(args) == 0 {
+		return float64(0), nil
+	}
+	// Timers run immediately in the sandbox — we want the behaviour, not
+	// the timing.
+	switch f := args[0].(type) {
+	case string:
+		if _, err := nativeEval(in, jsUndefined{}, []value{f}); err != nil {
+			return nil, err
+		}
+	case *userFn, *nativeFn:
+		if _, err := in.invoke(f, jsUndefined{}, nil); err != nil {
+			return nil, err
+		}
+	}
+	return float64(1), nil
+}
+
+func nativeAddEventListener(in *interp, _ value, args []value) (value, error) {
+	if len(args) == 0 {
+		return jsUndefined{}, nil
+	}
+	name := strings.ToLower(strings.TrimPrefix(toString(args[0]), "on"))
+	if fingerprintEvents[name] {
+		in.trace.FingerprintReads = append(in.trace.FingerprintReads, "event:"+name)
+	}
+	// Fire the handler once so its payload is traced (mouse handlers on
+	// malware pages typically trigger the popup/redirect).
+	if len(args) > 1 {
+		if _, err := in.invoke(args[1], jsUndefined{}, nil); err != nil {
+			return nil, err
+		}
+	}
+	return jsUndefined{}, nil
+}
+
+func nativeEval(in *interp, _ value, args []value) (value, error) {
+	if len(args) == 0 {
+		return jsUndefined{}, nil
+	}
+	src, ok := args[0].(string)
+	if !ok {
+		return args[0], nil // eval of a non-string returns it unchanged
+	}
+	in.trace.Evals++
+	in.evalDepth++
+	if in.evalDepth > in.trace.EvalDepth {
+		in.trace.EvalDepth = in.evalDepth
+	}
+	defer func() { in.evalDepth-- }()
+	if in.evalDepth > maxEvalDepth {
+		return nil, errEvalDepth
+	}
+	prog, err := parseProgram(src)
+	if err != nil {
+		// Unparseable eval argument: common when malware evals data. Not
+		// fatal to the outer script.
+		return jsUndefined{}, nil
+	}
+	for _, s := range prog {
+		if f, ok := s.(stmtFunc); ok {
+			in.global.declare(f.name, &userFn{params: f.params, body: f.body, env: in.global})
+		}
+	}
+	for _, s := range prog {
+		if _, ok := s.(stmtFunc); ok {
+			continue
+		}
+		if _, err := in.execStmt(s, in.global); err != nil {
+			return nil, err
+		}
+	}
+	return jsUndefined{}, nil
+}
+
+func nativeUnescape(_ *interp, _ value, args []value) (value, error) {
+	if len(args) == 0 {
+		return "", nil
+	}
+	s := toString(args[0])
+	// url.QueryUnescape rejects stray '%'; fall back to a forgiving
+	// decoder because malware often has junk percent sequences.
+	if dec, err := url.QueryUnescape(strings.ReplaceAll(s, "+", "%2B")); err == nil {
+		return dec, nil
+	}
+	return forgivingUnescape(s), nil
+}
+
+func forgivingUnescape(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] == '%' && i+2 < len(s) {
+			hi, ok1 := hexVal(s[i+1])
+			lo, ok2 := hexVal(s[i+2])
+			if ok1 && ok2 {
+				b.WriteByte(byte(hi<<4 | lo))
+				i += 3
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String()
+}
+
+func nativeEscape(_ *interp, _ value, args []value) (value, error) {
+	if len(args) == 0 {
+		return "", nil
+	}
+	return Escape(toString(args[0])), nil
+}
+
+// Escape percent-encodes every byte outside [A-Za-z0-9], matching the old
+// JS escape() closely enough for round-tripping with unescape(). The web
+// generator uses it to build obfuscated payloads.
+func Escape(s string) string {
+	const hexDigits = "0123456789ABCDEF"
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+			b.WriteByte(c)
+			continue
+		}
+		b.WriteByte('%')
+		b.WriteByte(hexDigits[c>>4])
+		b.WriteByte(hexDigits[c&0xf])
+	}
+	return b.String()
+}

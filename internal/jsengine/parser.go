@@ -1,0 +1,865 @@
+package jsengine
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// AST node kinds. The dialect is intentionally small; see the package
+// comment for the coverage rationale.
+
+type node interface{ nodeTag() string }
+
+type (
+	// stmtVar is `var name = expr;` (initializer optional).
+	stmtVar struct {
+		name string
+		init node
+	}
+	// stmtAssign is `target = expr;` where target is an identifier or
+	// member chain. op is "=", "+=" or "-=".
+	stmtAssign struct {
+		target node // identExpr or memberExpr
+		op     string
+		value  node
+	}
+	// stmtExpr is a bare expression statement (usually a call).
+	stmtExpr struct{ expr node }
+	// stmtIf is if/else.
+	stmtIf struct {
+		cond      node
+		then, alt []node
+	}
+	// stmtFunc is `function name(params) { body }`.
+	stmtFunc struct {
+		name   string
+		params []string
+		body   []node
+	}
+	// stmtReturn is `return expr;`.
+	stmtReturn struct{ expr node }
+	// stmtWhile is `while (cond) { body }`.
+	stmtWhile struct {
+		cond node
+		body []node
+	}
+	// stmtFor is `for (init; cond; post) { body }`; any clause may be nil.
+	stmtFor struct {
+		init node
+		cond node
+		post node
+		body []node
+	}
+	// stmtBreak and stmtContinue are loop control.
+	stmtBreak    struct{}
+	stmtContinue struct{}
+	// stmtTry is `try { body } catch (name) { handler }` (finally is out
+	// of dialect).
+	stmtTry struct {
+		body      []node
+		catchName string
+		handler   []node
+	}
+
+	identExpr  struct{ name string }
+	stringExpr struct{ val string }
+	numberExpr struct{ val float64 }
+	boolExpr   struct{ val bool }
+	// memberExpr is obj.prop.
+	memberExpr struct {
+		obj  node
+		prop string
+	}
+	// indexExpr is obj[expr].
+	indexExpr struct {
+		obj   node
+		index node
+	}
+	// callExpr is fn(args).
+	callExpr struct {
+		fn   node
+		args []node
+	}
+	// newExpr is `new Ctor(args)`.
+	newExpr struct {
+		ctor node
+		args []node
+	}
+	// binExpr is a binary operation.
+	binExpr struct {
+		op   string
+		l, r node
+	}
+	// unaryExpr is !x or -x or typeof x.
+	unaryExpr struct {
+		op string
+		x  node
+	}
+	// arrayExpr is [a, b, c].
+	arrayExpr struct{ elems []node }
+	// funcExpr is `function(params) { body }`.
+	funcExpr struct {
+		params []string
+		body   []node
+	}
+	// condExpr is cond ? a : b.
+	condExpr struct {
+		cond, then, alt node
+	}
+	// incExpr is x++ / x-- / ++x / --x on an lvalue.
+	incExpr struct {
+		target node // identExpr, memberExpr or indexExpr
+		op     string
+		prefix bool
+	}
+	// objectExpr is an object literal {k: v, "k2": v2}.
+	objectExpr struct {
+		keys []string
+		vals []node
+	}
+)
+
+func (stmtVar) nodeTag() string      { return "var" }
+func (stmtAssign) nodeTag() string   { return "assign" }
+func (stmtExpr) nodeTag() string     { return "expr" }
+func (stmtIf) nodeTag() string       { return "if" }
+func (stmtFunc) nodeTag() string     { return "func" }
+func (stmtReturn) nodeTag() string   { return "return" }
+func (stmtWhile) nodeTag() string    { return "while" }
+func (stmtFor) nodeTag() string      { return "for" }
+func (stmtBreak) nodeTag() string    { return "break" }
+func (stmtContinue) nodeTag() string { return "continue" }
+func (stmtTry) nodeTag() string      { return "try" }
+func (objectExpr) nodeTag() string   { return "object" }
+func (identExpr) nodeTag() string    { return "ident" }
+func (stringExpr) nodeTag() string   { return "string" }
+func (numberExpr) nodeTag() string   { return "number" }
+func (boolExpr) nodeTag() string     { return "bool" }
+func (memberExpr) nodeTag() string   { return "member" }
+func (indexExpr) nodeTag() string    { return "index" }
+func (callExpr) nodeTag() string     { return "call" }
+func (newExpr) nodeTag() string      { return "new" }
+func (binExpr) nodeTag() string      { return "bin" }
+func (unaryExpr) nodeTag() string    { return "unary" }
+func (arrayExpr) nodeTag() string    { return "array" }
+func (funcExpr) nodeTag() string     { return "funcexpr" }
+func (condExpr) nodeTag() string     { return "cond" }
+func (incExpr) nodeTag() string      { return "inc" }
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// errTooComplex marks scripts the parser declines (deep nesting, runaway
+// token streams). The analyzer treats such scripts as "static only".
+var errTooComplex = errors.New("jsengine: script too complex for sandbox")
+
+const maxTokens = 200000
+
+// parseProgram parses src into a statement list.
+func parseProgram(src string) ([]node, error) {
+	toks := lex(src)
+	if len(toks) > maxTokens {
+		return nil, errTooComplex
+	}
+	p := &parser{toks: toks}
+	var stmts []node
+	for !p.at(tokEOF) {
+		before := p.pos
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			stmts = append(stmts, s)
+		}
+		if p.pos == before {
+			// Defensive: never loop without progress.
+			p.pos++
+		}
+	}
+	return stmts, nil
+}
+
+func (p *parser) cur() token          { return p.toks[p.pos] }
+func (p *parser) at(k tokenKind) bool { return p.cur().kind == k }
+
+func (p *parser) atPunct(s string) bool {
+	t := p.cur()
+	return t.kind == tokPunct && t.text == s
+}
+
+func (p *parser) atIdent(s string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && t.text == s
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.atPunct(s) {
+		return fmt.Errorf("jsengine: expected %q at offset %d, got %q", s, p.cur().pos, p.cur().text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) eatSemis() {
+	for p.atPunct(";") {
+		p.advance()
+	}
+}
+
+func (p *parser) statement() (node, error) {
+	p.eatSemis()
+	if p.at(tokEOF) {
+		return nil, nil
+	}
+	switch {
+	case p.atIdent("var") || p.atIdent("let") || p.atIdent("const"):
+		return p.varStatement()
+	case p.atIdent("if"):
+		return p.ifStatement()
+	case p.atIdent("while"):
+		return p.whileStatement()
+	case p.atIdent("for"):
+		return p.forStatement()
+	case p.atIdent("break"):
+		p.advance()
+		p.eatSemis()
+		return stmtBreak{}, nil
+	case p.atIdent("continue"):
+		p.advance()
+		p.eatSemis()
+		return stmtContinue{}, nil
+	case p.atIdent("try"):
+		return p.tryStatement()
+	case p.atIdent("function"):
+		return p.funcStatement()
+	case p.atIdent("return"):
+		p.advance()
+		if p.atPunct(";") || p.atPunct("}") || p.at(tokEOF) {
+			p.eatSemis()
+			return stmtReturn{}, nil
+		}
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		p.eatSemis()
+		return stmtReturn{expr: e}, nil
+	case p.atPunct("{"):
+		// A bare block: parse as an if(true)-style wrapper to keep the
+		// AST simple.
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return stmtIf{cond: boolExpr{val: true}, then: body}, nil
+	}
+	// Expression or assignment statement.
+	e, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if p.atPunct("=") || p.atPunct("+=") || p.atPunct("-=") {
+		op := p.advance().text
+		switch e.(type) {
+		case identExpr, memberExpr, indexExpr:
+		default:
+			return nil, fmt.Errorf("jsengine: invalid assignment target at offset %d", p.cur().pos)
+		}
+		v, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		p.eatSemis()
+		return stmtAssign{target: e, op: op, value: v}, nil
+	}
+	p.eatSemis()
+	return stmtExpr{expr: e}, nil
+}
+
+func (p *parser) varStatement() (node, error) {
+	p.advance() // var/let/const
+	t := p.cur()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("jsengine: expected identifier after var at offset %d", t.pos)
+	}
+	name := p.advance().text
+	var init node
+	if p.atPunct("=") {
+		p.advance()
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		init = e
+	}
+	// Tolerate `var a = 1, b = 2` by recursing on the comma.
+	if p.atPunct(",") {
+		p.advance()
+		next, err := p.varStatement2()
+		if err != nil {
+			return nil, err
+		}
+		p.eatSemis()
+		return stmtIf{cond: boolExpr{val: true}, then: []node{stmtVar{name: name, init: init}, next}}, nil
+	}
+	p.eatSemis()
+	return stmtVar{name: name, init: init}, nil
+}
+
+// varStatement2 parses the continuation of a comma-separated var list
+// (without the leading keyword).
+func (p *parser) varStatement2() (node, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("jsengine: expected identifier in var list at offset %d", t.pos)
+	}
+	name := p.advance().text
+	var init node
+	if p.atPunct("=") {
+		p.advance()
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		init = e
+	}
+	if p.atPunct(",") {
+		p.advance()
+		next, err := p.varStatement2()
+		if err != nil {
+			return nil, err
+		}
+		return stmtIf{cond: boolExpr{val: true}, then: []node{stmtVar{name: name, init: init}, next}}, nil
+	}
+	return stmtVar{name: name, init: init}, nil
+}
+
+func (p *parser) ifStatement() (node, error) {
+	p.advance() // if
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.blockOrSingle()
+	if err != nil {
+		return nil, err
+	}
+	var alt []node
+	if p.atIdent("else") {
+		p.advance()
+		if p.atIdent("if") {
+			s, err := p.ifStatement()
+			if err != nil {
+				return nil, err
+			}
+			alt = []node{s}
+		} else {
+			alt, err = p.blockOrSingle()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return stmtIf{cond: cond, then: then, alt: alt}, nil
+}
+
+func (p *parser) tryStatement() (node, error) {
+	p.advance() // try
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	st := stmtTry{body: body}
+	if p.atIdent("catch") {
+		p.advance()
+		if p.atPunct("(") {
+			p.advance()
+			if p.cur().kind == tokIdent {
+				st.catchName = p.advance().text
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+		}
+		handler, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		st.handler = handler
+	}
+	// `finally` is tolerated by folding its block into the normal path.
+	if p.atIdent("finally") {
+		p.advance()
+		fin, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		st.body = append(st.body, fin...)
+	}
+	return st, nil
+}
+
+func (p *parser) whileStatement() (node, error) {
+	p.advance() // while
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.blockOrSingle()
+	if err != nil {
+		return nil, err
+	}
+	return stmtWhile{cond: cond, body: body}, nil
+}
+
+// forStatement parses the C-style three-clause form; for-in is out of
+// dialect and rejected.
+func (p *parser) forStatement() (node, error) {
+	p.advance() // for
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var init node
+	if !p.atPunct(";") {
+		s, err := p.statement() // consumes trailing ';'
+		if err != nil {
+			return nil, err
+		}
+		init = s
+	} else {
+		p.advance()
+	}
+	var cond node
+	if !p.atPunct(";") {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		cond = e
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	var post node
+	if !p.atPunct(")") {
+		// The post clause is a statement without its semicolon: an
+		// assignment or expression.
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		post = s
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.blockOrSingle()
+	if err != nil {
+		return nil, err
+	}
+	return stmtFor{init: init, cond: cond, post: post, body: body}, nil
+}
+
+func (p *parser) funcStatement() (node, error) {
+	p.advance() // function
+	t := p.cur()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("jsengine: expected function name at offset %d", t.pos)
+	}
+	name := p.advance().text
+	params, body, err := p.funcRest()
+	if err != nil {
+		return nil, err
+	}
+	return stmtFunc{name: name, params: params, body: body}, nil
+}
+
+func (p *parser) funcRest() (params []string, body []node, err error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, nil, err
+	}
+	for !p.atPunct(")") && !p.at(tokEOF) {
+		t := p.cur()
+		if t.kind == tokIdent {
+			params = append(params, t.text)
+		}
+		p.advance()
+		if p.atPunct(",") {
+			p.advance()
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, nil, err
+	}
+	body, err = p.block()
+	return params, body, err
+}
+
+func (p *parser) block() ([]node, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var out []node
+	for !p.atPunct("}") && !p.at(tokEOF) {
+		before := p.pos
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			out = append(out, s)
+		}
+		if p.pos == before {
+			p.pos++
+		}
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) blockOrSingle() ([]node, error) {
+	if p.atPunct("{") {
+		return p.block()
+	}
+	s, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, nil
+	}
+	return []node{s}, nil
+}
+
+// Expression parsing: ternary > or > and > equality > relational >
+// additive > multiplicative > unary > postfix (call/member/index) >
+// primary.
+
+func (p *parser) expression() (node, error) { return p.ternary() }
+
+func (p *parser) ternary() (node, error) {
+	cond, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atPunct("?") {
+		return cond, nil
+	}
+	p.advance()
+	then, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	alt, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	return condExpr{cond: cond, then: then, alt: alt}, nil
+}
+
+func (p *parser) orExpr() (node, error) {
+	return p.binLevel([]string{"||"}, p.andExpr)
+}
+
+func (p *parser) andExpr() (node, error) {
+	return p.binLevel([]string{"&&"}, p.eqExpr)
+}
+
+func (p *parser) eqExpr() (node, error) {
+	return p.binLevel([]string{"===", "!==", "==", "!="}, p.relExpr)
+}
+
+func (p *parser) relExpr() (node, error) {
+	return p.binLevel([]string{"<=", ">=", "<", ">"}, p.addExpr)
+}
+
+func (p *parser) addExpr() (node, error) {
+	return p.binLevel([]string{"+", "-"}, p.mulExpr)
+}
+
+func (p *parser) mulExpr() (node, error) {
+	return p.binLevel([]string{"*", "/", "%"}, p.unary)
+}
+
+func (p *parser) binLevel(ops []string, next func() (node, error)) (node, error) {
+	l, err := next()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := ""
+		for _, op := range ops {
+			if p.atPunct(op) {
+				matched = op
+				break
+			}
+		}
+		if matched == "" {
+			return l, nil
+		}
+		p.advance()
+		r, err := next()
+		if err != nil {
+			return nil, err
+		}
+		l = binExpr{op: matched, l: l, r: r}
+	}
+}
+
+func (p *parser) unary() (node, error) {
+	if p.atPunct("!") || p.atPunct("-") {
+		op := p.advance().text
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{op: op, x: x}, nil
+	}
+	if p.atPunct("++") || p.atPunct("--") {
+		op := p.advance().text
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		switch x.(type) {
+		case identExpr, memberExpr, indexExpr:
+			return incExpr{target: x, op: op, prefix: true}, nil
+		}
+		return x, nil
+	}
+	if p.atIdent("typeof") {
+		p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{op: "typeof", x: x}, nil
+	}
+	if p.atIdent("new") {
+		p.advance()
+		ctor, err := p.postfix()
+		if err != nil {
+			return nil, err
+		}
+		// `new X(args)` parses args as part of postfix; unwrap one call.
+		if c, ok := ctor.(callExpr); ok {
+			return newExpr{ctor: c.fn, args: c.args}, nil
+		}
+		return newExpr{ctor: ctor}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (node, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.atPunct("."):
+			p.advance()
+			t := p.cur()
+			if t.kind != tokIdent {
+				return nil, fmt.Errorf("jsengine: expected property name at offset %d", t.pos)
+			}
+			p.advance()
+			e = memberExpr{obj: e, prop: t.text}
+		case p.atPunct("["):
+			p.advance()
+			idx, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			e = indexExpr{obj: e, index: idx}
+		case p.atPunct("("):
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			e = callExpr{fn: e, args: args}
+		case p.atPunct("++") || p.atPunct("--"):
+			op := p.advance().text
+			switch e.(type) {
+			case identExpr, memberExpr, indexExpr:
+				e = incExpr{target: e, op: op}
+			default:
+				// Postfix on a non-lvalue: tolerated as a no-op.
+			}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) callArgs() ([]node, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var args []node
+	for !p.atPunct(")") && !p.at(tokEOF) {
+		a, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if p.atPunct(",") {
+			p.advance()
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+func (p *parser) primary() (node, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokString:
+		p.advance()
+		return stringExpr{val: t.text}, nil
+	case tokNumber:
+		p.advance()
+		v, err := parseJSNumber(t.text)
+		if err != nil {
+			return nil, fmt.Errorf("jsengine: bad number %q at offset %d", t.text, t.pos)
+		}
+		return numberExpr{val: v}, nil
+	case tokIdent:
+		switch t.text {
+		case "true":
+			p.advance()
+			return boolExpr{val: true}, nil
+		case "false":
+			p.advance()
+			return boolExpr{val: false}, nil
+		case "null", "undefined":
+			p.advance()
+			return identExpr{name: "undefined"}, nil
+		case "function":
+			p.advance()
+			// Anonymous function expression. A name is tolerated.
+			if p.cur().kind == tokIdent {
+				p.advance()
+			}
+			params, body, err := p.funcRest()
+			if err != nil {
+				return nil, err
+			}
+			return funcExpr{params: params, body: body}, nil
+		}
+		p.advance()
+		return identExpr{name: t.text}, nil
+	case tokPunct:
+		switch t.text {
+		case "(":
+			p.advance()
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		case "[":
+			p.advance()
+			var elems []node
+			for !p.atPunct("]") && !p.at(tokEOF) {
+				e, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				elems = append(elems, e)
+				if p.atPunct(",") {
+					p.advance()
+				}
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			return arrayExpr{elems: elems}, nil
+		case "{":
+			return p.objectLiteral()
+		}
+	}
+	return nil, fmt.Errorf("jsengine: unexpected token %q at offset %d", t.text, t.pos)
+}
+
+// objectLiteral parses { key: value, ... }; keys may be identifiers,
+// strings or numbers.
+func (p *parser) objectLiteral() (node, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var obj objectExpr
+	for !p.atPunct("}") && !p.at(tokEOF) {
+		t := p.cur()
+		var key string
+		switch t.kind {
+		case tokIdent, tokString, tokNumber:
+			key = t.text
+			p.advance()
+		default:
+			return nil, fmt.Errorf("jsengine: bad object key %q at offset %d", t.text, t.pos)
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		v, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		obj.keys = append(obj.keys, key)
+		obj.vals = append(obj.vals, v)
+		if p.atPunct(",") {
+			p.advance()
+		}
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	return obj, nil
+}
+
+func parseJSNumber(s string) (float64, error) {
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		v, err := strconv.ParseUint(s[2:], 16, 64)
+		return float64(v), err
+	}
+	return strconv.ParseFloat(s, 64)
+}

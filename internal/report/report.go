@@ -1,0 +1,289 @@
+// Package report renders the analysis results as the paper's tables and
+// figures: aligned ASCII tables for Tables I-IV and text bar charts /
+// series plots for Figures 2, 3, 5, 6 and 7. Every renderer takes the
+// core.Analysis aggregates, so `cmd/slumreport` and the benchmarks share
+// one presentation layer.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/exchange"
+	"repro/internal/shortener"
+	"repro/internal/stats"
+)
+
+// Table renders rows with left-aligned first column and right-aligned
+// numeric columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with the given header.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Row appends a row; short rows are padded.
+func (t *Table) Row(cells ...string) *Table {
+	for len(cells) < len(t.header) {
+		cells = append(cells, "")
+	}
+	t.rows = append(t.rows, cells)
+	return t
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				b.WriteString(pad(c, widths[i], false))
+			} else {
+				b.WriteString(pad(c, widths[i], true))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := len(t.header) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func pad(s string, w int, right bool) string {
+	if len(s) >= w {
+		return s
+	}
+	fill := strings.Repeat(" ", w-len(s))
+	if right {
+		return fill + s
+	}
+	return s + fill
+}
+
+func comma(n int) string {
+	s := fmt.Sprintf("%d", n)
+	if len(s) <= 3 {
+		return s
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	return s + "," + strings.Join(parts, ",")
+}
+
+// Table1 renders the Table I analog: per-exchange URL statistics.
+func Table1(a *core.Analysis) string {
+	t := NewTable("Exchange", "Type", "# URLs", "# Self", "# Popular", "# Regular", "# Malicious", "% Malicious")
+	for _, row := range a.PerExchange {
+		t.Row(
+			row.Name, row.Kind.String(),
+			comma(row.Crawled), comma(row.Self), comma(row.Popular),
+			comma(row.Regular), comma(row.Malicious),
+			stats.Pct(row.PctMalicious()),
+		)
+	}
+	t.Row("TOTAL", "",
+		comma(a.TotalCrawled), "", "", comma(a.TotalRegular),
+		comma(a.TotalMalicious), stats.Pct(a.OverallPctMalicious()))
+	return "TABLE I: STATISTICS OF DATA FROM TRAFFIC EXCHANGES\n" + t.String()
+}
+
+// Table2 renders the Table II analog: per-exchange domain statistics.
+func Table2(a *core.Analysis) string {
+	t := NewTable("Exchange", "# Domains", "# Malware", "% Malware")
+	for _, row := range a.PerExchange {
+		t.Row(row.Name, comma(row.Domains), comma(row.MalwareDomains),
+			stats.Pct(row.PctMalwareDomains()))
+	}
+	return "TABLE II: STATISTICS OF DOMAINS ON TRAFFIC EXCHANGES\n" + t.String()
+}
+
+// Table3 renders the malware categorization (percentages over categorized
+// URLs, with the miscellaneous bucket reported separately, as §IV-A does).
+func Table3(a *core.Analysis) string {
+	t := NewTable("Category", "Count", "Percentage")
+	for _, cat := range core.Categories {
+		count := a.CategoryCounts.Get(string(cat))
+		t.Row(string(cat), comma(count), stats.Pct(a.CategoryCounts.Share(string(cat))))
+	}
+	out := "TABLE III: MALWARE CATEGORIZATION (over categorized URLs)\n" + t.String()
+	out += fmt.Sprintf("Miscellaneous (excluded from percentages): %s of %s malicious URLs (%s)\n",
+		comma(a.MiscCount), comma(a.TotalMalicious),
+		stats.Pct(stats.Ratio(a.MiscCount, a.TotalMalicious)))
+	return out
+}
+
+// Table4 renders the malicious shortened-URL hit statistics.
+func Table4(rows []shortener.HitStats) string {
+	t := NewTable("Shortened URL", "Short Hits", "Long Hits", "Top Country", "Top Referrer")
+	for _, r := range rows {
+		t.Row(r.ShortURL, comma(r.ShortHits), comma(r.LongHits), r.TopCountry, r.TopReferrer)
+	}
+	if len(rows) == 0 {
+		t.Row("(none observed)", "", "", "", "")
+	}
+	return "TABLE IV: STATISTICS OF MALICIOUS SHORTENED URLS\n" + t.String()
+}
+
+// Figure2 renders malware-ratio bars per exchange, split by kind.
+func Figure2(a *core.Analysis) string {
+	var b strings.Builder
+	b.WriteString("FIGURE 2: MALWARE RATIO IN AUTO-SURF AND MANUAL-SURF EXCHANGES\n")
+	for _, kind := range []exchange.Kind{exchange.AutoSurf, exchange.ManualSurf} {
+		fmt.Fprintf(&b, "\n(%s)\n", kind)
+		for _, row := range a.PerExchange {
+			if row.Kind != kind {
+				continue
+			}
+			frac := row.PctMalicious()
+			fmt.Fprintf(&b, "%-16s %s %s  (%s benign / %s malware)\n",
+				row.Name, bar(frac, 40), stats.Pct(frac),
+				comma(row.Regular-row.Malicious), comma(row.Malicious))
+		}
+	}
+	return b.String()
+}
+
+// Figure3 renders the cumulative malicious-URL time series per exchange,
+// downsampled, with detected bursts annotated.
+func Figure3(a *core.Analysis) string {
+	var b strings.Builder
+	b.WriteString("FIGURE 3: TIME SERIES OF MALICIOUS URLS DETECTED ON TRAFFIC EXCHANGES\n")
+	for _, row := range a.PerExchange {
+		s := a.Series[row.Name]
+		if s == nil || s.Len() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n%s (%s): %d crawled, %d malicious\n", row.Name, row.Kind, s.Len(), s.Final())
+		pts := s.Downsample(24)
+		maxY := s.Final()
+		if maxY == 0 {
+			maxY = 1
+		}
+		var line strings.Builder
+		for _, p := range pts {
+			line.WriteByte(sparkChar(p.Y, maxY))
+		}
+		fmt.Fprintf(&b, "  cumulative: %s\n", line.String())
+		window := s.Len() / 20
+		if window < 1 {
+			window = 1
+		}
+		bursts := s.Bursts(window, 3)
+		if len(bursts) == 0 {
+			b.WriteString("  bursts: none (smooth, near-linear growth)\n")
+		} else {
+			for _, burst := range bursts {
+				fmt.Fprintf(&b, "  burst: URLs %d-%d at %.0f%% malicious (paid-campaign signature)\n",
+					burst.Start, burst.End, burst.Rate*100)
+			}
+		}
+	}
+	return b.String()
+}
+
+func sparkChar(y, maxY int) byte {
+	const ramp = " .:-=+*#%@"
+	idx := y * (len(ramp) - 1) / maxY
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ramp) {
+		idx = len(ramp) - 1
+	}
+	return ramp[idx]
+}
+
+// Figure5 renders the redirect-count distribution histogram.
+func Figure5(a *core.Analysis) string {
+	var b strings.Builder
+	b.WriteString("FIGURE 5: DISTRIBUTION OF URL REDIRECTION COUNT (malicious URLs)\n")
+	buckets := a.RedirectHist.Buckets()
+	maxC := 1
+	for _, bk := range buckets {
+		if bk.Count > maxC {
+			maxC = bk.Count
+		}
+	}
+	for _, bk := range buckets {
+		fmt.Fprintf(&b, "%d redirects %s %s\n", bk.Value,
+			bar(float64(bk.Count)/float64(maxC), 40), comma(bk.Count))
+	}
+	if len(buckets) == 0 {
+		b.WriteString("(no redirecting malicious URLs observed)\n")
+	}
+	return b.String()
+}
+
+// Figure6 renders the malicious-URL TLD breakdown.
+func Figure6(a *core.Analysis) string {
+	return shareChart("FIGURE 6: MALICIOUS URLS ACROSS TOP-LEVEL DOMAINS", a.TLDCounts, 4)
+}
+
+// Figure7 renders the malicious content-category breakdown.
+func Figure7(a *core.Analysis) string {
+	return shareChart("FIGURE 7: MALICIOUS CONTENT ACROSS CONTENT CATEGORIES", a.ContentCategories, 4)
+}
+
+func shareChart(title string, c *stats.Counter, topK int) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	for _, item := range c.TopK(topK) {
+		fmt.Fprintf(&b, "%-24s %s %s (%s)\n", item.Key, bar(item.Share, 40),
+			stats.Pct(item.Share), comma(item.Count))
+	}
+	if c.Total() == 0 {
+		b.WriteString("(no data)\n")
+	}
+	return b.String()
+}
+
+func bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return "[" + strings.Repeat("#", n) + strings.Repeat(".", width-n) + "]"
+}
+
+// Headline renders the dataset summary of §III-A.
+func Headline(a *core.Analysis) string {
+	return fmt.Sprintf(
+		"Dataset: %s URLs crawled (%s distinct) from %s domains across %d exchanges\n"+
+			"Regular URLs: %s; detected malicious: %s (%s)\n",
+		comma(a.TotalCrawled), comma(a.TotalDistinct), comma(a.TotalDomains),
+		len(a.PerExchange), comma(a.TotalRegular), comma(a.TotalMalicious),
+		stats.Pct(a.OverallPctMalicious()))
+}

@@ -1,0 +1,104 @@
+// Package scanner implements the malware detection tool stack of §III-B:
+// a multi-engine signature scanner (the VirusTotal analog), a heuristic
+// content scanner with JS sandboxing and SWF decompilation (the Quttera
+// analog), and the weaker third-party tools the paper vetted and rejected
+// (URLQuery, Bright Cloud, Site Check, Sender Base, Wepawet, AVG).
+//
+// Signature engines detect through a threat-intelligence feed: known-bad
+// domains and malware-family byte patterns. The feed is built from the
+// synthetic universe's planted malware the same way real AV vendors build
+// theirs from collected samples — each engine covers only a subset, and
+// aggregation across engines (what VirusTotal actually is) approaches full
+// coverage. Detection therefore operates on page CONTENT and URLs, never
+// on the generator's ground-truth labels; tests verify recall against
+// truth independently.
+package scanner
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/urlutil"
+)
+
+// Label vocabulary observed in the paper's analysis reports.
+const (
+	LabelScrInject     = "Virus.ScrInject.JS"
+	LabelScriptVirus   = "Script.virus"
+	LabelHeuristicJS   = "Trojan:Script.Heuristic-js.iacgm"
+	LabelIframeRef     = "HTML/IframeRef.gen"
+	LabelHifrm         = "Mal_Hifrm"
+	LabelIframeScript  = "Trojan.IFrame.Script"
+	LabelIframeArt     = "htm.iframe.art.gen"
+	LabelBlacoleNV     = "BehavesLike.JS.ExploitBlacole.nv"
+	LabelBlacoleXM     = "BehavesLike.JS.ExploitBlacole.xm"
+	LabelScriptGeneric = "Trojan.Script.Generic"
+	LabelJSRedirector  = "Trojan:JS/Redirector"
+	LabelFaceliker     = "TrojanClicker:JS/Faceliker.D"
+	LabelBlacklisted   = "Blacklisted.Domain"
+)
+
+// ThreatFeed is the shared intelligence signature engines draw from.
+type ThreatFeed struct {
+	// BadDomains maps known-bad registered domains to a family label.
+	BadDomains map[string]string
+	// TokenSigs maps content byte patterns (family markers appearing in
+	// malware page bodies or scripts) to a family label.
+	TokenSigs map[string]string
+}
+
+// NewThreatFeed returns an empty feed.
+func NewThreatFeed() *ThreatFeed {
+	return &ThreatFeed{
+		BadDomains: make(map[string]string),
+		TokenSigs:  make(map[string]string),
+	}
+}
+
+// AddDomain registers a known-bad domain with its family label.
+func (f *ThreatFeed) AddDomain(domain, label string) {
+	f.BadDomains[urlutil.RegisteredDomain(strings.ToLower(domain))] = label
+}
+
+// AddToken registers a content signature with its family label.
+func (f *ThreatFeed) AddToken(token, label string) {
+	if token != "" {
+		f.TokenSigs[token] = label
+	}
+}
+
+// Merge folds another feed into this one.
+func (f *ThreatFeed) Merge(other *ThreatFeed) {
+	if other == nil {
+		return
+	}
+	for d, l := range other.BadDomains {
+		f.BadDomains[d] = l
+	}
+	for t, l := range other.TokenSigs {
+		f.TokenSigs[t] = l
+	}
+}
+
+// Size returns the total signature count.
+func (f *ThreatFeed) Size() int { return len(f.BadDomains) + len(f.TokenSigs) }
+
+// domainEntries returns (domain, label) pairs in sorted order for
+// deterministic engine construction.
+func (f *ThreatFeed) domainEntries() [][2]string {
+	out := make([][2]string, 0, len(f.BadDomains))
+	for d, l := range f.BadDomains {
+		out = append(out, [2]string{d, l})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+func (f *ThreatFeed) tokenEntries() [][2]string {
+	out := make([][2]string, 0, len(f.TokenSigs))
+	for t, l := range f.TokenSigs {
+		out = append(out, [2]string{t, l})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

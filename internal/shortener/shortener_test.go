@@ -1,0 +1,258 @@
+package shortener
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/httpsim"
+)
+
+func TestShortenAndResolve(t *testing.T) {
+	s := New("goo.gl.sim")
+	short := s.Shorten("http://torrent.example/page")
+	if !strings.HasPrefix(short, "http://goo.gl.sim/") {
+		t.Fatalf("short = %q", short)
+	}
+	code := strings.TrimPrefix(short, "http://goo.gl.sim/")
+	long, ok := s.Resolve(code)
+	if !ok || long != "http://torrent.example/page" {
+		t.Fatalf("Resolve = %q, %v", long, ok)
+	}
+	if _, ok := s.Resolve("zzzz"); ok {
+		t.Fatal("unknown code resolved")
+	}
+}
+
+func TestCodesUnique(t *testing.T) {
+	s := New("bit.ly.sim")
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		u := s.Shorten("http://target.example/" + string(rune('a'+i%26)))
+		if seen[u] {
+			t.Fatalf("duplicate short URL %q", u)
+		}
+		seen[u] = true
+	}
+}
+
+func TestHandlerRedirectsAndRecords(t *testing.T) {
+	in := httpsim.NewInternet()
+	reg := NewRegistry()
+	svc := reg.Add("goo.gl.sim", in)
+	in.Register("target.example", func(req *httpsim.Request) *httpsim.Response {
+		return httpsim.HTML("landing")
+	})
+	short := svc.Shorten("http://target.example/land")
+
+	c := httpsim.NewClient(in)
+	for i := 0; i < 3; i++ {
+		res, err := c.Get(short, "UA", "http://10khits.sim/surf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FinalURL != "http://target.example/land" {
+			t.Fatalf("final = %q", res.FinalURL)
+		}
+	}
+	st, ok := svc.Stats(short)
+	if !ok {
+		t.Fatal("no stats")
+	}
+	if st.ShortHits != 3 {
+		t.Fatalf("short hits = %d, want 3", st.ShortHits)
+	}
+	if st.TopReferrer != "10khits.sim" {
+		t.Fatalf("top referrer = %q", st.TopReferrer)
+	}
+}
+
+func TestCountryTracking(t *testing.T) {
+	in := httpsim.NewInternet()
+	reg := NewRegistry()
+	svc := reg.Add("tiny.cc.sim", in)
+	in.Register("t.example", func(req *httpsim.Request) *httpsim.Response {
+		return httpsim.HTML("x")
+	})
+	short := svc.Shorten("http://t.example/")
+	countries := []string{"USA", "Brazil", "USA", "USA", "Iran"}
+	for _, country := range countries {
+		_, err := in.RoundTrip(&httpsim.Request{
+			URL:    short,
+			Header: map[string]string{CountryHeader: country},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, _ := svc.Stats(short)
+	if st.TopCountry != "USA" {
+		t.Fatalf("top country = %q", st.TopCountry)
+	}
+	if st.ShortHits != 5 {
+		t.Fatalf("hits = %d", st.ShortHits)
+	}
+}
+
+func TestDashWhenNoTraffic(t *testing.T) {
+	s := New("tr.im.sim")
+	short := s.Shorten("http://x.example/")
+	st, _ := s.Stats(short)
+	if st.TopCountry != "-" || st.TopReferrer != "-" {
+		t.Fatalf("stats of fresh link = %+v, want dashes", st)
+	}
+}
+
+func TestLongHitsSumAcrossAliases(t *testing.T) {
+	// "a URL may have multiple shortened URLs pointing to itself, thus
+	// increasing the number of hits for the long URL" — Table IV.
+	in := httpsim.NewInternet()
+	reg := NewRegistry()
+	svc := reg.Add("goo.gl.sim", in)
+	in.Register("pop.example", func(req *httpsim.Request) *httpsim.Response {
+		return httpsim.HTML("x")
+	})
+	a := svc.Shorten("http://pop.example/")
+	b := svc.Shorten("http://pop.example/")
+	for i := 0; i < 4; i++ {
+		if _, err := in.RoundTrip(&httpsim.Request{URL: a}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := in.RoundTrip(&httpsim.Request{URL: b}); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := svc.Stats(a)
+	if st.ShortHits != 4 || st.LongHits != 5 {
+		t.Fatalf("short=%d long=%d, want 4 and 5", st.ShortHits, st.LongHits)
+	}
+}
+
+func TestNestedShortening(t *testing.T) {
+	in := httpsim.NewInternet()
+	reg := NewRegistry()
+	googl := reg.Add("goo.gl.sim", in)
+	bitly := reg.Add("bit.ly.sim", in)
+	in.Register("evil.example", func(req *httpsim.Request) *httpsim.Response {
+		return httpsim.HTML("payload")
+	})
+	inner := googl.Shorten("http://evil.example/mal")
+	outer := bitly.Shorten(inner)
+
+	// Redirect-following resolves the nest.
+	c := httpsim.NewClient(in)
+	res, err := c.Get(outer, "UA", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalURL != "http://evil.example/mal" {
+		t.Fatalf("final = %q", res.FinalURL)
+	}
+	if res.Redirects() != 2 {
+		t.Fatalf("redirects = %d, want 2 (nested)", res.Redirects())
+	}
+
+	// ResolveChain walks it service-side.
+	chain, ok := reg.ResolveChain(outer, 5)
+	if !ok || len(chain) != 3 {
+		t.Fatalf("chain = %v ok=%v", chain, ok)
+	}
+	if chain[2] != "http://evil.example/mal" {
+		t.Fatalf("chain end = %q", chain[2])
+	}
+}
+
+func TestResolveChainDepthLimit(t *testing.T) {
+	in := httpsim.NewInternet()
+	reg := NewRegistry()
+	svc := reg.Add("goo.gl.sim", in)
+	// 6-deep nest.
+	target := "http://end.example/"
+	for i := 0; i < 6; i++ {
+		target = svc.Shorten(target)
+	}
+	if _, ok := reg.ResolveChain(target, 3); ok {
+		t.Fatal("depth-3 walk should fail on 6-deep nest")
+	}
+	chain, ok := reg.ResolveChain(target, 10)
+	if !ok || chain[len(chain)-1] != "http://end.example/" {
+		t.Fatalf("deep walk failed: %v %v", chain, ok)
+	}
+}
+
+func TestRegistryIsShortener(t *testing.T) {
+	in := httpsim.NewInternet()
+	reg := NewRegistry()
+	reg.Add("goo.gl.sim", in)
+	if !reg.IsShortener("goo.gl.sim") || !reg.IsShortURL("http://goo.gl.sim/abc") {
+		t.Fatal("registered shortener not recognized")
+	}
+	if reg.IsShortener("example.com") || reg.IsShortURL("http://example.com/a") {
+		t.Fatal("non-shortener recognized")
+	}
+	if reg.IsShortURL("::bad::") {
+		t.Fatal("unparseable URL recognized")
+	}
+}
+
+func TestStatsFor(t *testing.T) {
+	in := httpsim.NewInternet()
+	reg := NewRegistry()
+	a := reg.Add("goo.gl.sim", in)
+	b := reg.Add("bit.ly.sim", in)
+	u1 := a.Shorten("http://one.example/")
+	u2 := b.Shorten("http://two.example/")
+	rows := reg.StatsFor([]string{u1, u2, "http://unknown.example/x", "::bad::"})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+}
+
+func TestUnknownCode404(t *testing.T) {
+	in := httpsim.NewInternet()
+	reg := NewRegistry()
+	reg.Add("goo.gl.sim", in)
+	resp, err := in.RoundTrip(&httpsim.Request{URL: "http://goo.gl.sim/doesnotexist"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 404 {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestConcurrentShortenAndHit(t *testing.T) {
+	in := httpsim.NewInternet()
+	reg := NewRegistry()
+	svc := reg.Add("goo.gl.sim", in)
+	in.Register("t.example", func(req *httpsim.Request) *httpsim.Response {
+		return httpsim.HTML("x")
+	})
+	done := make(chan struct{}, 16)
+	for i := 0; i < 16; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			u := svc.Shorten("http://t.example/")
+			for j := 0; j < 10; j++ {
+				in.RoundTrip(&httpsim.Request{URL: u})
+			}
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		<-done
+	}
+	if got := len(svc.Links()); got != 16 {
+		t.Fatalf("links = %d, want 16", got)
+	}
+}
+
+func BenchmarkShortenResolve(b *testing.B) {
+	s := New("goo.gl.sim")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u := s.Shorten("http://x.example/p")
+		code := strings.TrimPrefix(u, "http://goo.gl.sim/")
+		if _, ok := s.Resolve(code); !ok {
+			b.Fatal("resolve failed")
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package simrand provides deterministic, seedable randomness helpers used
+// throughout the simulator. Every stochastic component of the reproduction
+// (universe generation, exchange rotation, scanner noise) draws from a
+// simrand.Source so that a single seed reproduces an entire experiment
+// bit-for-bit.
+//
+// The package wraps math/rand (stdlib only) and adds weighted choice, Zipf
+// sampling, stable named sub-streams, and a few distribution helpers the
+// workload generators need.
+package simrand
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Source is a deterministic random source. It is NOT safe for concurrent
+// use; derive per-goroutine sources with Sub.
+type Source struct {
+	rng  *rand.Rand
+	seed uint64
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source {
+	return &Source{
+		rng:  rand.New(rand.NewSource(int64(seed))),
+		seed: seed,
+	}
+}
+
+// Seed returns the seed the source was created with.
+func (s *Source) Seed() uint64 { return s.seed }
+
+// Sub derives a new independent Source from this source's seed and a name.
+// Two Sub calls with the same name on sources with the same seed yield
+// identical streams, regardless of how much randomness has been consumed
+// from the parent. This keeps experiment components independent: consuming
+// more randomness in one subsystem does not shift another subsystem's
+// stream.
+func (s *Source) Sub(name string) *Source {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(s.seed >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(name))
+	return New(h.Sum64())
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0, matching
+// math/rand semantics.
+func (s *Source) Intn(n int) int { return s.rng.Intn(n) }
+
+// Int63 returns a non-negative 63-bit integer.
+func (s *Source) Int63() int64 { return s.rng.Int63() }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 { return s.rng.Float64() }
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.rng.Float64() < p
+}
+
+// Range returns a uniform int in [lo, hi] inclusive. It panics if hi < lo.
+func (s *Source) Range(lo, hi int) int {
+	if hi < lo {
+		panic(fmt.Sprintf("simrand: invalid range [%d, %d]", lo, hi))
+	}
+	return lo + s.rng.Intn(hi-lo+1)
+}
+
+// Norm returns a normally distributed float64 with the given mean and
+// standard deviation.
+func (s *Source) Norm(mean, stddev float64) float64 {
+	return mean + stddev*s.rng.NormFloat64()
+}
+
+// Exp returns an exponentially distributed float64 with the given mean.
+func (s *Source) Exp(mean float64) float64 {
+	return s.rng.ExpFloat64() * mean
+}
+
+// Geometric returns a geometrically distributed integer >= 1 with success
+// probability p (the number of Bernoulli trials up to and including the
+// first success). p must be in (0, 1].
+func (s *Source) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic(fmt.Sprintf("simrand: invalid geometric p=%v", p))
+	}
+	if p == 1 {
+		return 1
+	}
+	u := s.rng.Float64()
+	// Inverse CDF: ceil(ln(1-u) / ln(1-p)).
+	n := int(math.Ceil(math.Log(1-u) / math.Log(1-p)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }
+
+// Pick returns a uniformly random element of items. It panics on an empty
+// slice.
+func Pick[T any](s *Source, items []T) T {
+	if len(items) == 0 {
+		panic("simrand: Pick from empty slice")
+	}
+	return items[s.Intn(len(items))]
+}
+
+// PickN returns n distinct uniformly random elements of items (or all of
+// them if n >= len(items)), in random order.
+func PickN[T any](s *Source, items []T, n int) []T {
+	if n >= len(items) {
+		out := make([]T, len(items))
+		copy(out, items)
+		s.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	}
+	perm := s.Perm(len(items))
+	out := make([]T, 0, n)
+	for _, idx := range perm[:n] {
+		out = append(out, items[idx])
+	}
+	return out
+}
+
+// Weighted selects an index in [0, len(weights)) with probability
+// proportional to weights[i]. Zero weights are allowed; negative weights
+// and an all-zero weight vector panic.
+type Weighted struct {
+	cum []float64
+}
+
+// NewWeighted builds a reusable weighted sampler.
+func NewWeighted(weights []float64) *Weighted {
+	if len(weights) == 0 {
+		panic("simrand: NewWeighted with no weights")
+	}
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			panic(fmt.Sprintf("simrand: invalid weight %v at index %d", w, i))
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		panic("simrand: all weights are zero")
+	}
+	return &Weighted{cum: cum}
+}
+
+// Sample draws an index from the weighted distribution.
+func (w *Weighted) Sample(s *Source) int {
+	total := w.cum[len(w.cum)-1]
+	u := s.Float64() * total
+	idx := sort.SearchFloat64s(w.cum, u)
+	// SearchFloat64s returns the first index with cum >= u; if u lands
+	// exactly on a boundary we may get an index whose own weight is zero,
+	// so walk forward to the next positive-weight bucket.
+	for idx < len(w.cum)-1 && w.weightAt(idx) == 0 {
+		idx++
+	}
+	if idx >= len(w.cum) {
+		idx = len(w.cum) - 1
+	}
+	return idx
+}
+
+func (w *Weighted) weightAt(i int) float64 {
+	if i == 0 {
+		return w.cum[0]
+	}
+	return w.cum[i] - w.cum[i-1]
+}
+
+// WeightedPick is a convenience that builds a one-shot weighted sampler
+// over items with the given weights and returns one item.
+func WeightedPick[T any](s *Source, items []T, weights []float64) T {
+	if len(items) != len(weights) {
+		panic("simrand: WeightedPick length mismatch")
+	}
+	return items[NewWeighted(weights).Sample(s)]
+}
+
+// Zipf samples integers in [0, n) following a Zipf distribution with
+// exponent theta. Used for popularity skew (a few domains absorb most
+// traffic, matching the heavy-tailed referral pattern the paper observes).
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf builds a Zipf sampler over [0, n) with exponent theta (> 1).
+func NewZipf(s *Source, theta float64, n uint64) *Zipf {
+	if n == 0 {
+		panic("simrand: NewZipf with n=0")
+	}
+	z := rand.NewZipf(s.rng, theta, 1, n-1)
+	if z == nil {
+		panic(fmt.Sprintf("simrand: invalid zipf params theta=%v n=%d", theta, n))
+	}
+	return &Zipf{z: z}
+}
+
+// Sample draws one value.
+func (z *Zipf) Sample() uint64 { return z.z.Uint64() }
+
+// Letters used by identifier generators.
+const lowerAlpha = "abcdefghijklmnopqrstuvwxyz"
+const alphaNum = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+// Word returns a pronounceable-ish lowercase word of length in [minLen,
+// maxLen], alternating consonant/vowel clusters. Used for synthetic domain
+// and path names.
+func (s *Source) Word(minLen, maxLen int) string {
+	const vowels = "aeiou"
+	const consonants = "bcdfghjklmnpqrstvwxyz"
+	n := s.Range(minLen, maxLen)
+	buf := make([]byte, n)
+	useVowel := s.Bool(0.4)
+	for i := 0; i < n; i++ {
+		if useVowel {
+			buf[i] = vowels[s.Intn(len(vowels))]
+		} else {
+			buf[i] = consonants[s.Intn(len(consonants))]
+		}
+		useVowel = !useVowel
+	}
+	return string(buf)
+}
+
+// Token returns a random lowercase alphanumeric token of length n, like
+// the opaque IDs shorteners and ad trackers use.
+func (s *Source) Token(n int) string {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = alphaNum[s.Intn(len(alphaNum))]
+	}
+	return string(buf)
+}
+
+// LowerToken returns a random lowercase alphabetic token of length n.
+func (s *Source) LowerToken(n int) string {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = lowerAlpha[s.Intn(len(lowerAlpha))]
+	}
+	return string(buf)
+}
+
+// HexToken returns a random lowercase hex string of length n.
+func (s *Source) HexToken(n int) string {
+	const hexDigits = "0123456789abcdef"
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = hexDigits[s.Intn(len(hexDigits))]
+	}
+	return string(buf)
+}

@@ -1,0 +1,365 @@
+package simrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Int63(), b.Int63(); av != bv {
+			t.Fatalf("iteration %d: sources diverged: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestSubStreamsIndependentOfParentConsumption(t *testing.T) {
+	a := New(7)
+	b := New(7)
+	// Consume different amounts from the parents.
+	for i := 0; i < 100; i++ {
+		a.Int63()
+	}
+	b.Int63()
+	sa := a.Sub("web")
+	sb := b.Sub("web")
+	for i := 0; i < 100; i++ {
+		if sa.Int63() != sb.Int63() {
+			t.Fatal("Sub streams depend on parent consumption; they must not")
+		}
+	}
+}
+
+func TestSubStreamsDifferByName(t *testing.T) {
+	s := New(7)
+	x := s.Sub("alpha")
+	y := s.Sub("beta")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if x.Int63() == y.Int63() {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Fatal("differently named sub-streams produced identical output")
+	}
+}
+
+func TestRangeInclusive(t *testing.T) {
+	s := New(1)
+	seenLo, seenHi := false, false
+	for i := 0; i < 10000; i++ {
+		v := s.Range(3, 5)
+		if v < 3 || v > 5 {
+			t.Fatalf("Range(3,5) produced %d", v)
+		}
+		if v == 3 {
+			seenLo = true
+		}
+		if v == 5 {
+			seenHi = true
+		}
+	}
+	if !seenLo || !seenHi {
+		t.Fatal("Range did not cover both endpoints in 10k draws")
+	}
+}
+
+func TestRangePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for hi < lo")
+		}
+	}()
+	New(1).Range(5, 3)
+}
+
+func TestBoolEdges(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 100; i++ {
+		if s.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !s.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	s := New(99)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if math.Abs(got-0.3) > 0.02 {
+		t.Fatalf("Bool(0.3) frequency = %v, want ~0.3", got)
+	}
+}
+
+func TestWeightedDistribution(t *testing.T) {
+	s := New(5)
+	w := NewWeighted([]float64{1, 0, 3})
+	counts := make([]int, 3)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[w.Sample(s)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight bucket sampled %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weight-3 / weight-1 ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestWeightedPanics(t *testing.T) {
+	cases := []struct {
+		name    string
+		weights []float64
+	}{
+		{"empty", nil},
+		{"all-zero", []float64{0, 0}},
+		{"negative", []float64{1, -1}},
+		{"nan", []float64{math.NaN()}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewWeighted(%v) did not panic", tc.weights)
+				}
+			}()
+			NewWeighted(tc.weights)
+		})
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(11)
+	p := 0.25
+	n, sum := 50000, 0
+	for i := 0; i < n; i++ {
+		v := s.Geometric(p)
+		if v < 1 {
+			t.Fatalf("Geometric returned %d < 1", v)
+		}
+		sum += v
+	}
+	mean := float64(sum) / float64(n)
+	if math.Abs(mean-1/p) > 0.15 {
+		t.Fatalf("Geometric(%v) mean = %v, want ~%v", p, mean, 1/p)
+	}
+}
+
+func TestGeometricPEqualsOne(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 10; i++ {
+		if v := s.Geometric(1); v != 1 {
+			t.Fatalf("Geometric(1) = %d, want 1", v)
+		}
+	}
+}
+
+func TestPickNDistinct(t *testing.T) {
+	s := New(3)
+	items := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	out := PickN(s, items, 4)
+	if len(out) != 4 {
+		t.Fatalf("PickN returned %d items, want 4", len(out))
+	}
+	seen := map[int]bool{}
+	for _, v := range out {
+		if seen[v] {
+			t.Fatalf("PickN returned duplicate %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPickNMoreThanAvailable(t *testing.T) {
+	s := New(3)
+	items := []int{1, 2, 3}
+	out := PickN(s, items, 10)
+	if len(out) != 3 {
+		t.Fatalf("PickN(n>len) returned %d items, want 3", len(out))
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	s := New(21)
+	z := NewZipf(s, 1.5, 100)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Sample()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+}
+
+func TestWordProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed)
+		w := s.Word(3, 9)
+		if len(w) < 3 || len(w) > 9 {
+			return false
+		}
+		for _, c := range w {
+			if c < 'a' || c > 'z' {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed)
+		tok := s.Token(12)
+		hx := s.HexToken(8)
+		if len(tok) != 12 || len(hx) != 8 {
+			return false
+		}
+		for _, c := range hx {
+			isHex := (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+			if !isHex {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormDistribution(t *testing.T) {
+	s := New(13)
+	n := 50000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Norm(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean-10) > 0.1 {
+		t.Fatalf("Norm mean = %v, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.1 {
+		t.Fatalf("Norm stddev = %v, want ~2", math.Sqrt(variance))
+	}
+}
+
+func BenchmarkWeightedSample(b *testing.B) {
+	s := New(1)
+	w := NewWeighted([]float64{5, 3, 2, 1, 0.5, 0.25})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Sample(s)
+	}
+}
+
+func BenchmarkWord(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Word(4, 12)
+	}
+}
+
+func TestSeedAccessor(t *testing.T) {
+	if New(99).Seed() != 99 {
+		t.Fatal("Seed() mismatch")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(17)
+	n, sum := 50000, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Exp(4)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / float64(n); math.Abs(mean-4) > 0.2 {
+		t.Fatalf("Exp(4) mean = %v", mean)
+	}
+}
+
+func TestPickAndWeightedPick(t *testing.T) {
+	s := New(3)
+	items := []string{"a", "b", "c"}
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		seen[Pick(s, items)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("Pick coverage = %v", seen)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[WeightedPick(s, items, []float64{0, 1, 3})]++
+	}
+	if counts["a"] != 0 {
+		t.Fatal("zero-weight item picked")
+	}
+	if counts["c"] < counts["b"] {
+		t.Fatalf("weighting ignored: %v", counts)
+	}
+}
+
+func TestPickPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pick on empty slice did not panic")
+		}
+	}()
+	Pick(New(1), []int{})
+}
+
+func TestWeightedPickLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	WeightedPick(New(1), []int{1, 2}, []float64{1})
+}
+
+func TestLowerToken(t *testing.T) {
+	s := New(5)
+	tok := s.LowerToken(10)
+	if len(tok) != 10 {
+		t.Fatalf("len = %d", len(tok))
+	}
+	for _, c := range tok {
+		if c < 'a' || c > 'z' {
+			t.Fatalf("non-alpha %q in %q", c, tok)
+		}
+	}
+}
+
+func TestNewZipfPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(n=0) did not panic")
+		}
+	}()
+	NewZipf(New(1), 1.5, 0)
+}

