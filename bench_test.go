@@ -9,6 +9,8 @@
 package repro
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -62,6 +64,38 @@ func BenchmarkTable1(b *testing.B) {
 		_ = report.Table1(a)
 	}
 	b.ReportMetric(a.OverallPctMalicious()*100, "%malicious")
+}
+
+// BenchmarkAnalyzeParallel measures the sharded analysis pipeline across
+// worker counts with the verdict cache on and off. The cache hit rate is
+// reported as a custom metric; rotation re-surfs the same entry URLs, so
+// a healthy run shows a substantial %cache-hit.
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	st := benchStudy(b)
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		for _, cached := range []bool{false, true} {
+			name := fmt.Sprintf("workers=%d/cache=%v", workers, cached)
+			b.Run(name, func(b *testing.B) {
+				an := &core.Analyzer{
+					Classifier:   st.Analyzer.Classifier,
+					Detector:     st.Detector,
+					Workers:      workers,
+					DisableCache: !cached,
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				var a *core.Analysis
+				for i := 0; i < b.N; i++ {
+					a = an.Analyze(st.Crawls)
+				}
+				b.ReportMetric(a.CacheStats.HitRate()*100, "%cache-hit")
+			})
+		}
+	}
 }
 
 // BenchmarkTable2 regenerates the per-exchange domain statistics.

@@ -31,6 +31,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("slumcrawl", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	scale := fs.Int("scale", 20, "divide paper crawl volumes by this factor")
+	workers := fs.Int("workers", 0, "analysis worker pool size (0 = all CPUs)")
 	out := fs.String("out", "dataset.jsonl", "output dataset path")
 	harDir := fs.String("hardir", "", "directory for per-exchange HAR archives (optional)")
 	if err := fs.Parse(args); err != nil {
@@ -40,6 +41,7 @@ func run(args []string) error {
 	cfg := core.DefaultStudyConfig()
 	cfg.Seed = *seed
 	cfg.Scale = *scale
+	cfg.Workers = *workers
 	st, err := core.NewStudy(cfg)
 	if err != nil {
 		return err

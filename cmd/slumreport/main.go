@@ -4,16 +4,19 @@
 //
 // Usage:
 //
-//	slumreport [-seed N] [-scale N] [-table N] [-figure N]
+//	slumreport [-seed N] [-scale N] [-workers N] [-table N] [-figure N]
 //
 // With no -table/-figure selection, everything is printed. -scale divides
 // the paper's crawl volumes (default 20: ~50k URLs, seconds of runtime;
-// -scale 1 replays the full 1,003,087-URL crawl).
+// -scale 1 replays the full 1,003,087-URL crawl). -workers bounds the
+// analysis pipeline's detection pool (default: all CPUs); the output is
+// identical for every worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -21,16 +24,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "slumreport:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("slumreport", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	scale := fs.Int("scale", 20, "divide paper crawl volumes by this factor")
+	workers := fs.Int("workers", 0, "analysis worker pool size (0 = all CPUs)")
 	table := fs.Int("table", 0, "print only this table (1-4)")
 	figure := fs.Int("figure", 0, "print only this figure (2, 3, 5, 6, 7)")
 	asJSON := fs.Bool("json", false, "emit every table and figure as JSON")
@@ -44,6 +48,7 @@ func run(args []string) error {
 	cfg := core.DefaultStudyConfig()
 	cfg.Seed = *seed
 	cfg.Scale = *scale
+	cfg.Workers = *workers
 	fmt.Fprintf(os.Stderr, "running study: seed=%d scale=%d (~%d URLs)...\n",
 		cfg.Seed, cfg.Scale, 1003087/cfg.Scale)
 	st, err := core.RunStudy(cfg)
@@ -53,7 +58,7 @@ func run(args []string) error {
 	a := st.Analysis
 
 	if *asJSON {
-		return report.WriteJSON(os.Stdout, a, a.ShortURLStats(st.Universe.Shorteners))
+		return report.WriteJSON(out, a, a.ShortURLStats(st.Universe.Shorteners))
 	}
 
 	sections := []struct {
@@ -79,7 +84,7 @@ func run(args []string) error {
 				continue
 			}
 		}
-		fmt.Println(s.render())
+		fmt.Fprintln(out, s.render())
 		printed = true
 	}
 	if !printed {

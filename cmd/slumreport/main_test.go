@@ -1,34 +1,35 @@
 package main
 
 import (
+	"io"
 	"os"
 	"testing"
 )
 
 func TestRunSelectedTable(t *testing.T) {
 	// Scale 900 keeps the smoke test to a couple of seconds.
-	if err := run([]string{"-scale", "900", "-seed", "3", "-table", "1"}); err != nil {
+	if err := run([]string{"-scale", "900", "-seed", "3", "-table", "1"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSelectedFigure(t *testing.T) {
-	if err := run([]string{"-scale", "900", "-seed", "3", "-figure", "5"}); err != nil {
+	if err := run([]string{"-scale", "900", "-seed", "3", "-figure", "5"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunNoMatch(t *testing.T) {
-	if err := run([]string{"-scale", "900", "-table", "9"}); err == nil {
+	if err := run([]string{"-scale", "900", "-table", "9"}, io.Discard); err == nil {
 		t.Fatal("bogus table selection accepted")
 	}
 }
 
 func TestRunBadFlags(t *testing.T) {
-	if err := run([]string{"-scale", "not-a-number"}); err == nil {
+	if err := run([]string{"-scale", "not-a-number"}, io.Discard); err == nil {
 		t.Fatal("bad flag accepted")
 	}
-	if err := run([]string{"-scale", "0"}); err == nil {
+	if err := run([]string{"-scale", "0"}, io.Discard); err == nil {
 		t.Fatal("zero scale accepted")
 	}
 }
@@ -43,7 +44,7 @@ func TestMain(m *testing.M) {
 }
 
 func TestRunJSON(t *testing.T) {
-	if err := run([]string{"-scale", "900", "-seed", "3", "-json"}); err != nil {
+	if err := run([]string{"-scale", "900", "-seed", "3", "-json"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -72,6 +72,7 @@ func run(args []string) error {
 	harDir := fs.String("hardir", "", "analyze HAR archives from this directory instead of -in")
 	seed := fs.Uint64("seed", 1, "seed the dataset was crawled with")
 	scale := fs.Int("scale", 20, "scale the dataset was crawled with")
+	workers := fs.Int("workers", 0, "analysis worker pool size (0 = all CPUs)")
 	table := fs.Int("table", 0, "print only this table (1-4)")
 	figure := fs.Int("figure", 0, "print only this figure (2, 3, 5, 6, 7)")
 	if err := fs.Parse(args); err != nil {
@@ -100,6 +101,7 @@ func run(args []string) error {
 	cfg := core.DefaultStudyConfig()
 	cfg.Seed = *seed
 	cfg.Scale = *scale
+	cfg.Workers = *workers
 	cfg.DriveShortenerTraffic = false // the crawl already drove it
 	st, err := core.NewStudy(cfg)
 	if err != nil {

@@ -68,6 +68,9 @@ type Analysis struct {
 	// Verdicts holds the per-record verdicts, aligned with the input
 	// record stream per exchange.
 	Verdicts map[string][]Verdict
+	// CacheStats reports verdict-cache effectiveness for this run (zero
+	// when the cache was disabled). Deterministic across worker counts.
+	CacheStats CacheStats
 }
 
 // OverallPctMalicious is the headline ">26% of URLs are malicious".
@@ -76,13 +79,27 @@ func (a *Analysis) OverallPctMalicious() float64 {
 }
 
 // Analyzer runs classification + detection + aggregation over crawls.
+// Detection fans out over a bounded worker pool (see pipeline.go); the
+// aggregation fold always runs sequentially in record order, so the output
+// is byte-identical for every worker count and cache setting.
 type Analyzer struct {
 	Classifier *Classifier
 	Detector   *Detector
+	// Workers bounds the detection pool; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// DisableCache turns off the single-flight verdict cache, forcing
+	// every record through the full detector stack (the pre-cache
+	// behaviour; useful for ablations and benchmarks).
+	DisableCache bool
 }
 
-// Analyze processes all crawls into the full Analysis.
+// Analyze processes all crawls into the full Analysis. Detection runs in
+// parallel; everything order-sensitive — per-exchange verdict slices,
+// counters, series, aggregate folds — happens afterwards in a single
+// sequential pass over the records, in input order.
 func (an *Analyzer) Analyze(crawls []*crawler.Crawl) *Analysis {
+	outcomes, cstats := an.scanRecords(crawls)
+
 	out := &Analysis{
 		CategoryCounts:    stats.NewCounter(),
 		TLDCounts:         stats.NewCounter(),
@@ -90,25 +107,26 @@ func (an *Analyzer) Analyze(crawls []*crawler.Crawl) *Analysis {
 		RedirectHist:      stats.NewIntHist(),
 		Series:            make(map[string]*stats.Series),
 		Verdicts:          make(map[string][]Verdict),
+		CacheStats:        cstats,
 	}
 	var allURLs []string
 	domainSet := map[string]bool{}
 	shortSet := map[string]bool{}
 
-	for _, c := range crawls {
+	for ci, c := range crawls {
 		row := ExchangeStats{Name: c.Exchange, Kind: c.Kind}
 		series := stats.NewSeries()
 		exDomains := map[string]bool{}
 		exMalDomains := map[string]bool{}
 		verdicts := make([]Verdict, 0, len(c.Records))
 
-		for _, rec := range c.Records {
+		for ri, rec := range c.Records {
 			row.Crawled++
 			allURLs = append(allURLs, rec.EntryURL)
-			class := an.Classifier.Classify(rec)
+			o := outcomes[ci][ri]
 
-			var v Verdict
-			switch class {
+			v := o.v
+			switch o.class {
 			case Self:
 				row.Self++
 			case Popular:
@@ -119,7 +137,6 @@ func (an *Analyzer) Analyze(crawls []*crawler.Crawl) *Analysis {
 					exDomains[d] = true
 					domainSet[d] = true
 				}
-				v = an.Detector.Inspect(rec)
 				if v.Malicious {
 					row.Malicious++
 					if d := urlutil.DomainOf(rec.EntryURL); d != "" {

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/crawler"
+)
+
+// CacheStats summarizes verdict-cache effectiveness for one Analyze call.
+// With the single-flight cache, Misses equals the number of distinct cache
+// keys and Hits the number of records that reused an existing verdict, so
+// both are deterministic regardless of worker count or scheduling.
+type CacheStats struct {
+	Hits   int
+	Misses int
+}
+
+// HitRate is Hits / (Hits + Misses), or 0 on an empty cache.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// VerdictCache is a single-flight per-URL verdict memo: the first record
+// carrying a given (entry URL, content digest) pair runs the full detector
+// stack; every later record with the same key — the common case under
+// exchange rotation, which re-surfs the same entry URLs hundreds of times
+// per crawl — reuses the verdict without re-downloading, re-sandboxing or
+// re-scanning anything. Safe for concurrent use.
+type VerdictCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	v    Verdict
+}
+
+// NewVerdictCache returns an empty cache.
+func NewVerdictCache() *VerdictCache {
+	return &VerdictCache{entries: make(map[string]*cacheEntry)}
+}
+
+// entry returns the cache slot for key, creating it if absent. The second
+// return reports whether the slot already existed (a hit).
+func (c *VerdictCache) entry(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		return e, true
+	}
+	e := &cacheEntry{}
+	c.entries[key] = e
+	return e, false
+}
+
+// Stats returns the hit/miss counts observed so far.
+func (c *VerdictCache) Stats() CacheStats {
+	return CacheStats{Hits: int(c.hits.Load()), Misses: int(c.misses.Load())}
+}
+
+// verdictKey derives the cache key for a record: the entry URL plus a
+// digest of every other record field Inspect consumes (final URL, content
+// type, redirect count, body). Two records agreeing on the key are
+// indistinguishable to the detector, so sharing the verdict cannot change
+// any output relative to inspecting both.
+func verdictKey(rec *crawler.Record) string {
+	h := fnv.New64a()
+	h.Write([]byte(rec.FinalURL))
+	h.Write([]byte{0})
+	h.Write([]byte(rec.ContentType))
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(rec.Redirects))
+	h.Write(n[:])
+	h.Write(rec.Body)
+	return rec.EntryURL + "\x00" + strconv.FormatUint(h.Sum64(), 16)
+}
+
+// cacheable reports whether a record's inspection may be memoized. Only
+// the local-file scan path is: URL-only scans (empty body, or FileScan
+// disabled) consult the live network with scanner user agents, where
+// cloaking and per-request server state make repeat submissions
+// observable, so they always run.
+func (an *Analyzer) cacheable(rec *crawler.Record) bool {
+	return an.Detector.FileScan && len(rec.Body) > 0
+}
+
+// inspect runs the detector over one regular record, through the cache
+// when one is active and the record is eligible.
+func (an *Analyzer) inspect(cache *VerdictCache, rec *crawler.Record) Verdict {
+	if cache == nil || !an.cacheable(rec) {
+		return an.Detector.Inspect(*rec)
+	}
+	e, hit := cache.entry(verdictKey(rec))
+	if hit {
+		cache.hits.Add(1)
+	} else {
+		cache.misses.Add(1)
+	}
+	// Single flight: concurrent requesters of the same key block here
+	// until the first finishes, then share its verdict.
+	e.once.Do(func() { e.v = an.Detector.Inspect(*rec) })
+	return e.v
+}
+
+// recOutcome is the per-record result of the parallel scan phase.
+type recOutcome struct {
+	class ReferralClass
+	v     Verdict
+}
+
+// scanOne classifies one record and, for regular referrals, runs the
+// detector stack.
+func (an *Analyzer) scanOne(cache *VerdictCache, rec *crawler.Record) recOutcome {
+	o := recOutcome{class: an.Classifier.Classify(*rec)}
+	if o.class == Regular {
+		o.v = an.inspect(cache, rec)
+	}
+	return o
+}
+
+// scanRecords fans every crawl record out to the detector over a bounded
+// worker pool and returns per-crawl outcome slices in record order.
+// Results land in pre-sized slots indexed by (crawl, record), so the merge
+// is deterministic by construction: the fold that follows reads them in
+// exactly the order the sequential pipeline would have produced them.
+func (an *Analyzer) scanRecords(crawls []*crawler.Crawl) ([][]recOutcome, CacheStats) {
+	outcomes := make([][]recOutcome, len(crawls))
+	total := 0
+	for i, c := range crawls {
+		outcomes[i] = make([]recOutcome, len(c.Records))
+		total += len(c.Records)
+	}
+
+	var cache *VerdictCache
+	if !an.DisableCache {
+		cache = NewVerdictCache()
+	}
+
+	workers := an.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total && total > 0 {
+		workers = total
+	}
+
+	if workers <= 1 {
+		for ci, c := range crawls {
+			for ri := range c.Records {
+				outcomes[ci][ri] = an.scanOne(cache, &c.Records[ri])
+			}
+		}
+	} else {
+		type job struct{ ci, ri int }
+		jobs := make(chan job, 4*workers)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for j := range jobs {
+					outcomes[j.ci][j.ri] = an.scanOne(cache, &crawls[j.ci].Records[j.ri])
+				}
+			}()
+		}
+		for ci, c := range crawls {
+			for ri := range c.Records {
+				jobs <- job{ci, ri}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	if cache == nil {
+		return outcomes, CacheStats{}
+	}
+	return outcomes, cache.Stats()
+}

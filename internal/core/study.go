@@ -25,6 +25,13 @@ type StudyConfig struct {
 	// DriveShortenerTraffic populates Table IV hit counters with
 	// background member traffic before the crawl.
 	DriveShortenerTraffic bool
+	// Workers bounds the analysis pipeline's detection worker pool;
+	// <= 0 uses runtime.GOMAXPROCS(0). Output is identical for every
+	// worker count.
+	Workers int
+	// DisableVerdictCache turns off the single-flight per-URL verdict
+	// cache (every record then runs the full detector stack).
+	DisableVerdictCache bool
 }
 
 // DefaultStudyConfig returns the standard calibration.
@@ -104,8 +111,10 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 	st.Detector = NewDetector(universe.Feed, universe.Blacklists, universe.Shorteners,
 		universe.Internet, DetectorConfig{Seed: cfg.Seed + 1})
 	st.Analyzer = &Analyzer{
-		Classifier: st.BuildClassifier(),
-		Detector:   st.Detector,
+		Classifier:   st.BuildClassifier(),
+		Detector:     st.Detector,
+		Workers:      cfg.Workers,
+		DisableCache: cfg.DisableVerdictCache,
 	}
 	return st, nil
 }

@@ -199,13 +199,12 @@ func parseAttrValue(src string, i int) (string, int) {
 // insensitive), and the offset just past the close tag. A missing close
 // tag captures to end of input.
 func captureBody(src string, i int, tag string) (string, int) {
-	lowered := strings.ToLower(src)
 	close1 := "</" + tag + ">"
-	idx := strings.Index(lowered[i:], close1)
+	idx := asciiIndexFold(src[i:], close1)
 	if idx < 0 {
 		// Tolerate "</tag " with attributes or whitespace before '>'.
 		alt := "</" + tag
-		idx = strings.Index(lowered[i:], alt)
+		idx = asciiIndexFold(src[i:], alt)
 		if idx < 0 {
 			return src[i:], len(src)
 		}
@@ -216,6 +215,30 @@ func captureBody(src string, i int, tag string) (string, int) {
 		return src[i : i+idx], i + idx + gt + 1
 	}
 	return src[i : i+idx], i + idx + len(close1)
+}
+
+// asciiIndexFold reports the first index of sub in s under ASCII case
+// folding. The comparison is byte-wise so returned offsets always index
+// s directly — strings.ToLower re-encodes invalid UTF-8 as the
+// multi-byte replacement rune and shifts offsets.
+func asciiIndexFold(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		j := 0
+		for j < len(sub) && foldByte(s[i+j]) == foldByte(sub[j]) {
+			j++
+		}
+		if j == len(sub) {
+			return i
+		}
+	}
+	return -1
+}
+
+func foldByte(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c + 'a' - 'A'
+	}
+	return c
 }
 
 func isNameByte(c byte) bool {

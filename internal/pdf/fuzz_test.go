@@ -1,0 +1,26 @@
+package pdf
+
+import (
+	"testing"
+)
+
+// FuzzInspect drives the PDF parser and malformation inspector over
+// arbitrary bytes — the native-fuzzing replacement for the byte-flip
+// quick.Check loop. Both entry points must be total: reject or accept,
+// never panic.
+func FuzzInspect(f *testing.F) {
+	f.Add(NewBuilder().Encode())
+	f.Add(NewBuilder().AddJavaScriptAction(`app.alert(1);`).Encode())
+	f.Add(NewBuilder().AddJavaScriptAction(`window.location.href = "http://x/y.exe";`).Encode())
+	f.Add([]byte("%PDF-1.4"))
+	f.Add([]byte("%PDF-1.4\n1 0 obj\n<< /Type /Catalog >>\nendobj\ntrailer"))
+	f.Add([]byte{})
+	f.Add([]byte("not a pdf"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := Parse(data)
+		if err == nil && doc == nil {
+			t.Fatal("Parse returned nil document with nil error")
+		}
+		Inspect(data) // may error, must not panic
+	})
+}

@@ -302,10 +302,15 @@ func parseDict(body string) map[string]string {
 			break
 		}
 	}
+	lo, hi := start+2, end-1
 	if end < 0 {
-		end = len(body) - 1
+		// Unterminated dict: take everything after "<<".
+		hi = len(body)
 	}
-	inner := body[start+2 : end-1]
+	if hi < lo {
+		hi = lo
+	}
+	inner := body[lo:hi]
 	i := 0
 	for i < len(inner) {
 		slash := strings.IndexByte(inner[i:], '/')
@@ -424,6 +429,10 @@ func xrefBroken(raw string) bool {
 		return false
 	}
 	lines := strings.Split(raw[xrefAt:], "\n")
+	if len(lines) < 3 {
+		// Truncated table: no entries to validate.
+		return false
+	}
 	checked := 0
 	for _, line := range lines[2:] { // skip "xref" and the subsection line
 		fields := strings.Fields(line)

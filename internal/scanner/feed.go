@@ -17,6 +17,7 @@ package scanner
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/urlutil"
 )
@@ -38,67 +39,95 @@ const (
 	LabelBlacklisted   = "Blacklisted.Domain"
 )
 
-// ThreatFeed is the shared intelligence signature engines draw from.
+// ThreatFeed is the shared intelligence signature engines draw from. It
+// is safe for concurrent use: feeds keep updating (Merge, AddDomain)
+// while engines built over them scan in parallel.
 type ThreatFeed struct {
-	// BadDomains maps known-bad registered domains to a family label.
-	BadDomains map[string]string
-	// TokenSigs maps content byte patterns (family markers appearing in
+	mu sync.RWMutex
+	// badDomains maps known-bad registered domains to a family label.
+	badDomains map[string]string
+	// tokenSigs maps content byte patterns (family markers appearing in
 	// malware page bodies or scripts) to a family label.
-	TokenSigs map[string]string
+	tokenSigs map[string]string
 }
 
 // NewThreatFeed returns an empty feed.
 func NewThreatFeed() *ThreatFeed {
 	return &ThreatFeed{
-		BadDomains: make(map[string]string),
-		TokenSigs:  make(map[string]string),
+		badDomains: make(map[string]string),
+		tokenSigs:  make(map[string]string),
 	}
 }
 
 // AddDomain registers a known-bad domain with its family label.
 func (f *ThreatFeed) AddDomain(domain, label string) {
-	f.BadDomains[urlutil.RegisteredDomain(strings.ToLower(domain))] = label
+	f.mu.Lock()
+	f.badDomains[urlutil.RegisteredDomain(strings.ToLower(domain))] = label
+	f.mu.Unlock()
 }
 
 // AddToken registers a content signature with its family label.
 func (f *ThreatFeed) AddToken(token, label string) {
-	if token != "" {
-		f.TokenSigs[token] = label
+	if token == "" {
+		return
 	}
+	f.mu.Lock()
+	f.tokenSigs[token] = label
+	f.mu.Unlock()
+}
+
+// DomainLabel returns the family label for a registered domain, if listed.
+func (f *ThreatFeed) DomainLabel(domain string) (string, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	l, ok := f.badDomains[urlutil.RegisteredDomain(strings.ToLower(domain))]
+	return l, ok
 }
 
 // Merge folds another feed into this one.
 func (f *ThreatFeed) Merge(other *ThreatFeed) {
-	if other == nil {
+	if other == nil || other == f {
 		return
 	}
-	for d, l := range other.BadDomains {
-		f.BadDomains[d] = l
+	domains := other.domainEntries()
+	tokens := other.tokenEntries()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, d := range domains {
+		f.badDomains[d[0]] = d[1]
 	}
-	for t, l := range other.TokenSigs {
-		f.TokenSigs[t] = l
+	for _, t := range tokens {
+		f.tokenSigs[t[0]] = t[1]
 	}
 }
 
 // Size returns the total signature count.
-func (f *ThreatFeed) Size() int { return len(f.BadDomains) + len(f.TokenSigs) }
+func (f *ThreatFeed) Size() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.badDomains) + len(f.tokenSigs)
+}
 
 // domainEntries returns (domain, label) pairs in sorted order for
 // deterministic engine construction.
 func (f *ThreatFeed) domainEntries() [][2]string {
-	out := make([][2]string, 0, len(f.BadDomains))
-	for d, l := range f.BadDomains {
+	f.mu.RLock()
+	out := make([][2]string, 0, len(f.badDomains))
+	for d, l := range f.badDomains {
 		out = append(out, [2]string{d, l})
 	}
+	f.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
 	return out
 }
 
 func (f *ThreatFeed) tokenEntries() [][2]string {
-	out := make([][2]string, 0, len(f.TokenSigs))
-	for t, l := range f.TokenSigs {
+	f.mu.RLock()
+	out := make([][2]string, 0, len(f.tokenSigs))
+	for t, l := range f.tokenSigs {
 		out = append(out, [2]string{t, l})
 	}
+	f.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
 	return out
 }

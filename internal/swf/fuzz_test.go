@@ -1,0 +1,36 @@
+package swf
+
+import (
+	"testing"
+)
+
+// FuzzDecode drives the SWF container reader, the bytecode VM and the
+// inspection front-end over arbitrary bytes. This replaces the byte-flip
+// quick.Check loop with native fuzzing: Decode must reject or accept
+// without panicking, and anything it accepts must survive Run and
+// Inspect. Seeds cover the benign movie, the obfuscated AdFlash payload,
+// and structurally broken headers.
+func FuzzDecode(f *testing.F) {
+	f.Add(buildBenignMovie())
+	f.Add(buildAdFlash(0x11))
+	f.Add(buildAdFlash(0x00))
+	f.Add(NewBuilder(1, 1).Encode())
+	f.Add(NewBuilder(800, 600).
+		AddClickArea(ClickArea{X: 0, Y: 0, W: 800, H: 600, Alpha: 0}).
+		Script(NewScript()).
+		Encode())
+	f.Add([]byte{})
+	f.Add([]byte("FWS"))
+	f.Add([]byte("JUNKJUNKJUNK"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if m == nil {
+			t.Fatal("Decode returned nil movie with nil error")
+		}
+		m.Run() // may error, must not panic
+		Inspect(data)
+	})
+}
