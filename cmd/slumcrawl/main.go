@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	slumcrawl [-seed N] [-scale N] -out dataset.jsonl [-hardir DIR]
+//	slumcrawl [-seed N] [-scale N] [-faults PROFILE] [-retries N] -out dataset.jsonl [-hardir DIR]
+//
+// -faults injects deterministic transport faults into the crawl; failed
+// fetches are persisted as records with fetchErr/errKind set, so slumscan
+// reports crawl health for the dataset.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/har"
+	"repro/internal/httpsim"
 )
 
 func main() {
@@ -32,6 +37,8 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	scale := fs.Int("scale", 20, "divide paper crawl volumes by this factor")
 	workers := fs.Int("workers", 0, "analysis worker pool size (0 = all CPUs)")
+	faults := fs.String("faults", "", "crawl fault profile: "+strings.Join(httpsim.ProfileNames(), ", "))
+	retries := fs.Int("retries", 2, "crawl retries per URL after the first attempt")
 	out := fs.String("out", "dataset.jsonl", "output dataset path")
 	harDir := fs.String("hardir", "", "directory for per-exchange HAR archives (optional)")
 	if err := fs.Parse(args); err != nil {
@@ -42,6 +49,8 @@ func run(args []string) error {
 	cfg.Seed = *seed
 	cfg.Scale = *scale
 	cfg.Workers = *workers
+	cfg.FaultProfile = *faults
+	cfg.Retries = *retries
 	st, err := core.NewStudy(cfg)
 	if err != nil {
 		return err
@@ -60,11 +69,16 @@ func run(args []string) error {
 	if err := core.WriteDataset(f, st.Crawls); err != nil {
 		return err
 	}
-	total := 0
+	total, failed := 0, 0
 	for _, c := range st.Crawls {
 		total += len(c.Records)
+		for i := range c.Records {
+			if c.Records[i].FetchErr != "" {
+				failed++
+			}
+		}
 	}
-	fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", total, *out)
+	fmt.Fprintf(os.Stderr, "wrote %d records to %s (%d failed fetches)\n", total, *out, failed)
 
 	if *harDir != "" {
 		if err := os.MkdirAll(*harDir, 0o755); err != nil {

@@ -24,13 +24,9 @@ func captureReport(t *testing.T, extra ...string) []byte {
 	return buf.Bytes()
 }
 
-// TestGoldenReport snapshots the full text output — headline, Tables
-// I-IV, Figures 2-7 — against testdata/report.golden. Regenerate with:
-//
-//	go test ./cmd/slumreport -run TestGoldenReport -update
-func TestGoldenReport(t *testing.T) {
-	got := captureReport(t)
-	path := filepath.Join("testdata", "report.golden")
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
 	if *update {
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)
@@ -50,6 +46,24 @@ func TestGoldenReport(t *testing.T) {
 	}
 }
 
+// TestGoldenReport snapshots the full text output — headline, Tables
+// I-IV, Figures 2-7, crawl health — against testdata/report.golden.
+// Regenerate with:
+//
+//	go test ./cmd/slumreport -run TestGolden -update
+func TestGoldenReport(t *testing.T) {
+	checkGolden(t, "report.golden", captureReport(t))
+}
+
+// TestGoldenReportFaulty snapshots the same study crawled through the
+// hostile fault profile. Every fault decision is a pure function of
+// (seed, url, attempt), so the degraded report — including which fetches
+// failed and the exact error taxonomy — is as reproducible as the clean
+// one.
+func TestGoldenReportFaulty(t *testing.T) {
+	checkGolden(t, "report_faulty.golden", captureReport(t, "-faults", "hostile"))
+}
+
 // TestGoldenReportWorkerInvariance reruns the golden configuration at
 // several worker counts: the parallel pipeline must emit byte-identical
 // reports regardless of pool size.
@@ -58,6 +72,20 @@ func TestGoldenReportWorkerInvariance(t *testing.T) {
 	for _, workers := range []string{"1", "2", "8"} {
 		if got := captureReport(t, "-workers", workers); !bytes.Equal(got, base) {
 			t.Fatalf("-workers %s output differs from default\n%s",
+				workers, firstDiff(got, base))
+		}
+	}
+}
+
+// TestGoldenReportFaultyWorkerInvariance repeats the invariance check
+// under fault injection: retries, failures, and partial redirect chains
+// must not introduce any schedule dependence.
+func TestGoldenReportFaultyWorkerInvariance(t *testing.T) {
+	base := captureReport(t, "-faults", "hostile")
+	for _, workers := range []string{"1", "3"} {
+		got := captureReport(t, "-faults", "hostile", "-workers", workers)
+		if !bytes.Equal(got, base) {
+			t.Fatalf("-faults hostile -workers %s output differs from default\n%s",
 				workers, firstDiff(got, base))
 		}
 	}

@@ -4,13 +4,16 @@
 //
 // Usage:
 //
-//	slumreport [-seed N] [-scale N] [-workers N] [-table N] [-figure N]
+//	slumreport [-seed N] [-scale N] [-workers N] [-faults PROFILE] [-retries N] [-table N] [-figure N]
 //
 // With no -table/-figure selection, everything is printed. -scale divides
 // the paper's crawl volumes (default 20: ~50k URLs, seconds of runtime;
 // -scale 1 replays the full 1,003,087-URL crawl). -workers bounds the
 // analysis pipeline's detection pool (default: all CPUs); the output is
-// identical for every worker count.
+// identical for every worker count. -faults injects deterministic
+// transport faults into the crawl (off, flaky, lossy, slow, hostile) and
+// -retries bounds the crawler's per-URL retry budget; the crawl-health
+// section reports the resulting fetch outcomes and error taxonomy.
 package main
 
 import (
@@ -18,8 +21,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/httpsim"
 	"repro/internal/report"
 )
 
@@ -35,6 +40,8 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	scale := fs.Int("scale", 20, "divide paper crawl volumes by this factor")
 	workers := fs.Int("workers", 0, "analysis worker pool size (0 = all CPUs)")
+	faults := fs.String("faults", "", "crawl fault profile: "+strings.Join(httpsim.ProfileNames(), ", "))
+	retries := fs.Int("retries", 2, "crawl retries per URL after the first attempt")
 	table := fs.Int("table", 0, "print only this table (1-4)")
 	figure := fs.Int("figure", 0, "print only this figure (2, 3, 5, 6, 7)")
 	asJSON := fs.Bool("json", false, "emit every table and figure as JSON")
@@ -49,6 +56,8 @@ func run(args []string, out io.Writer) error {
 	cfg.Seed = *seed
 	cfg.Scale = *scale
 	cfg.Workers = *workers
+	cfg.FaultProfile = *faults
+	cfg.Retries = *retries
 	fmt.Fprintf(os.Stderr, "running study: seed=%d scale=%d (~%d URLs)...\n",
 		cfg.Seed, cfg.Scale, 1003087/cfg.Scale)
 	st, err := core.RunStudy(cfg)
@@ -75,6 +84,7 @@ func run(args []string, out io.Writer) error {
 		{0, 5, func() string { return report.Figure5(a) }},
 		{0, 6, func() string { return report.Figure6(a) }},
 		{0, 7, func() string { return report.Figure7(a) }},
+		{0, 0, func() string { return report.CrawlHealthReport(a) }},
 	}
 	selected := *table != 0 || *figure != 0
 	printed := false

@@ -123,6 +123,10 @@ func run(args []string) error {
 		{0, 5, func() string { return report.Figure5(a) }},
 		{0, 6, func() string { return report.Figure6(a) }},
 		{0, 7, func() string { return report.Figure7(a) }},
+		// Crawl health is rendered from the persisted fetchErr/errKind/
+		// attempts fields: faults are baked into the dataset at crawl time
+		// (slumcrawl -faults), so slumscan needs no fault flags of its own.
+		{0, 0, func() string { return report.CrawlHealthReport(a) }},
 	}
 	selected := *table != 0 || *figure != 0
 	printed := false

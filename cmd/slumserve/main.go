@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -35,8 +36,14 @@ func run(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	scale := fs.Int("scale", 50, "universe scale divisor")
+	faults := fs.String("faults", "", "fault profile: "+strings.Join(httpsim.ProfileNames(), ", "))
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	profile, ok := httpsim.ProfileByName(*faults)
+	if !ok {
+		return fmt.Errorf("unknown fault profile %q (want one of: %s)",
+			*faults, strings.Join(httpsim.ProfileNames(), ", "))
 	}
 
 	cfg := core.DefaultStudyConfig()
@@ -66,11 +73,20 @@ func run(args []string) error {
 		}
 		fmt.Printf("  %-20s %s\n", kind.String()+":", sites[0].EntryURL)
 	}
+	// Fault injection wraps the simulated internet before the HTTP
+	// adapter, so real clients feel the same failures the crawler does:
+	// aborted connections for resets/timeouts, short bodies under a full
+	// Content-Length for truncation, genuine 503s and 302 loops.
+	var transport httpsim.RoundTripper = st.Universe.Internet
+	if !profile.Zero() {
+		transport = httpsim.NewFaultInjector(transport, profile, *seed)
+		fmt.Printf("\nfault injection active: profile %q\n", profile.Name)
+	}
 	fmt.Printf("\nlistening on %s (route with the Host header)\n", *addr)
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpsim.AsHTTPHandler(st.Universe.Internet),
+		Handler:           httpsim.AsHTTPHandler(transport),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	return srv.ListenAndServe()

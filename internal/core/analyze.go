@@ -22,6 +22,9 @@ type ExchangeStats struct {
 	Popular   int
 	Regular   int
 	Malicious int
+	// Failed counts fetch failures: crawled URLs that produced no
+	// analyzable content. Crawled == Self + Popular + Regular + Failed.
+	Failed int
 	// Table II columns.
 	Domains        int
 	MalwareDomains int
@@ -33,6 +36,51 @@ func (s ExchangeStats) PctMalicious() float64 { return stats.Ratio(s.Malicious, 
 // PctMalwareDomains is the Table II "% Malware" column.
 func (s ExchangeStats) PctMalwareDomains() float64 {
 	return stats.Ratio(s.MalwareDomains, s.Domains)
+}
+
+// PctFailed is the crawl-health failure rate for the exchange.
+func (s ExchangeStats) PctFailed() float64 { return stats.Ratio(s.Failed, s.Crawled) }
+
+// KindCount is one error-taxonomy bucket of the crawl-health accounting.
+type KindCount struct {
+	Kind  string
+	Count int
+}
+
+// ExchangeHealth is one exchange's crawl-health row.
+type ExchangeHealth struct {
+	Name    string
+	Crawled int
+	// Failed counts records whose fetch never completed.
+	Failed int
+	// Retries counts fetch attempts beyond each record's first.
+	Retries int
+	// Kinds is the per-exchange error taxonomy, sorted by count
+	// descending then kind name.
+	Kinds []KindCount
+}
+
+// PctFailed is the per-exchange failure rate.
+func (h ExchangeHealth) PctFailed() float64 { return stats.Ratio(h.Failed, h.Crawled) }
+
+// CrawlHealth aggregates fetch reliability over the whole measurement:
+// how much of the crawl degraded, how hard the crawler had to fight for
+// it, and what the substrate's failure modes were. A healthy run carries
+// all zeros — the section exists so degradation is explicit instead of
+// silently vanished.
+type CrawlHealth struct {
+	// PerExchange holds per-exchange rows in crawl order.
+	PerExchange []ExchangeHealth
+	// TotalFailed and TotalRetries aggregate across exchanges.
+	TotalFailed  int
+	TotalRetries int
+	// ErrorKinds is the overall error taxonomy.
+	ErrorKinds *stats.Counter
+}
+
+// Degraded reports whether any fetch failed or was retried.
+func (h *CrawlHealth) Degraded() bool {
+	return h != nil && (h.TotalFailed > 0 || h.TotalRetries > 0)
 }
 
 // Analysis is the complete output of the pipeline: everything the paper's
@@ -71,7 +119,23 @@ type Analysis struct {
 	// CacheStats reports verdict-cache effectiveness for this run (zero
 	// when the cache was disabled). Deterministic across worker counts.
 	CacheStats CacheStats
+	// Health is the crawl-health accounting: failures, retries and the
+	// error taxonomy. Always populated (all zeros for a clean crawl).
+	Health *CrawlHealth
 }
+
+// TotalFailed is the number of crawled URLs whose fetch never completed.
+func (a *Analysis) TotalFailed() int {
+	if a.Health == nil {
+		return 0
+	}
+	return a.Health.TotalFailed
+}
+
+// TotalAnalyzed is the number of crawled URLs that reached classification
+// and (for regular referrals) the detector stack. The reconciliation
+// invariant the chaos suite locks in: Analyzed + Failed == Crawled.
+func (a *Analysis) TotalAnalyzed() int { return a.TotalCrawled - a.TotalFailed() }
 
 // OverallPctMalicious is the headline ">26% of URLs are malicious".
 func (a *Analysis) OverallPctMalicious() float64 {
@@ -108,6 +172,7 @@ func (an *Analyzer) Analyze(crawls []*crawler.Crawl) *Analysis {
 		Series:            make(map[string]*stats.Series),
 		Verdicts:          make(map[string][]Verdict),
 		CacheStats:        cstats,
+		Health:            &CrawlHealth{ErrorKinds: stats.NewCounter()},
 	}
 	var allURLs []string
 	domainSet := map[string]bool{}
@@ -115,6 +180,8 @@ func (an *Analyzer) Analyze(crawls []*crawler.Crawl) *Analysis {
 
 	for ci, c := range crawls {
 		row := ExchangeStats{Name: c.Exchange, Kind: c.Kind}
+		health := ExchangeHealth{Name: c.Exchange}
+		exKinds := map[string]int{}
 		series := stats.NewSeries()
 		exDomains := map[string]bool{}
 		exMalDomains := map[string]bool{}
@@ -123,6 +190,9 @@ func (an *Analyzer) Analyze(crawls []*crawler.Crawl) *Analysis {
 		for ri, rec := range c.Records {
 			row.Crawled++
 			allURLs = append(allURLs, rec.EntryURL)
+			if rec.Attempts > 1 {
+				health.Retries += rec.Attempts - 1
+			}
 			o := outcomes[ci][ri]
 
 			v := o.v
@@ -131,6 +201,15 @@ func (an *Analyzer) Analyze(crawls []*crawler.Crawl) *Analysis {
 				row.Self++
 			case Popular:
 				row.Popular++
+			case Failed:
+				row.Failed++
+				health.Failed++
+				kind := rec.ErrKind
+				if kind == "" {
+					kind = "transport"
+				}
+				exKinds[kind]++
+				out.Health.ErrorKinds.Add(kind)
 			case Regular:
 				row.Regular++
 				if d := urlutil.DomainOf(rec.EntryURL); d != "" {
@@ -151,7 +230,12 @@ func (an *Analyzer) Analyze(crawls []*crawler.Crawl) *Analysis {
 
 		row.Domains = len(exDomains)
 		row.MalwareDomains = len(exMalDomains)
+		health.Crawled = row.Crawled
+		health.Kinds = sortedKinds(exKinds)
 		out.PerExchange = append(out.PerExchange, row)
+		out.Health.PerExchange = append(out.Health.PerExchange, health)
+		out.Health.TotalFailed += health.Failed
+		out.Health.TotalRetries += health.Retries
 		out.Series[c.Exchange] = series
 		out.Verdicts[c.Exchange] = verdicts
 		out.TotalCrawled += row.Crawled
@@ -238,6 +322,23 @@ func knownContentCategory(c string) bool {
 // shortener registry's public hit statistics — Table IV.
 func (a *Analysis) ShortURLStats(reg *shortener.Registry) []shortener.HitStats {
 	return reg.StatsFor(a.MaliciousShortURLs)
+}
+
+// sortedKinds flattens an error-taxonomy map into rows ordered by count
+// descending, ties broken by kind name — a deterministic presentation
+// order for reports and goldens.
+func sortedKinds(kinds map[string]int) []KindCount {
+	out := make([]KindCount, 0, len(kinds))
+	for k, n := range kinds {
+		out = append(out, KindCount{Kind: k, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
 }
 
 func sortedSet(set map[string]bool) []string {

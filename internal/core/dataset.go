@@ -27,6 +27,8 @@ type datasetRecord struct {
 	ContentType string    `json:"contentType,omitempty"`
 	Body        []byte    `json:"body,omitempty"`
 	FetchErr    string    `json:"fetchErr,omitempty"`
+	ErrKind     string    `json:"errKind,omitempty"`
+	Attempts    int       `json:"attempts,omitempty"`
 }
 
 // WriteDataset streams crawls as JSON lines.
@@ -47,6 +49,8 @@ func WriteDataset(w io.Writer, crawls []*crawler.Crawl) error {
 				ContentType: r.ContentType,
 				Body:        r.Body,
 				FetchErr:    r.FetchErr,
+				ErrKind:     r.ErrKind,
+				Attempts:    r.Attempts,
 			}
 			if err := enc.Encode(&dr); err != nil {
 				return fmt.Errorf("core: write dataset: %w", err)
@@ -88,6 +92,8 @@ func ReadDataset(r io.Reader) ([]*crawler.Crawl, error) {
 			ContentType: dr.ContentType,
 			Body:        dr.Body,
 			FetchErr:    dr.FetchErr,
+			ErrKind:     dr.ErrKind,
+			Attempts:    dr.Attempts,
 		})
 	}
 	out := make([]*crawler.Crawl, 0, len(order))

@@ -23,11 +23,15 @@ import (
 // ReferralClass partitions crawled URLs as §III-A does.
 type ReferralClass int
 
-// Referral classes.
+// Referral classes. Failed marks records whose fetch never completed:
+// they count as crawled but carry no trustworthy content, so they bypass
+// the detector stack and flow into the crawl-health accounting instead of
+// silently polluting the malice statistics.
 const (
 	Self ReferralClass = iota + 1
 	Popular
 	Regular
+	Failed
 )
 
 // String implements fmt.Stringer.
@@ -37,6 +41,8 @@ func (r ReferralClass) String() string {
 		return "self"
 	case Popular:
 		return "popular"
+	case Failed:
+		return "failed"
 	default:
 		return "regular"
 	}
@@ -54,8 +60,14 @@ type Classifier struct {
 	PopularHosts map[string]bool
 }
 
-// Classify returns the referral class of one record.
+// Classify returns the referral class of one record. Fetch failures are
+// classified first: without downloaded content there is nothing for the
+// scanners to judge, and the URL must reconcile into the failed column
+// rather than the regular one.
 func (c *Classifier) Classify(rec crawler.Record) ReferralClass {
+	if rec.FetchErr != "" {
+		return Failed
+	}
 	exHost := c.ExchangeHosts[rec.Exchange]
 	if exHost != "" && urlutil.SameSite(rec.EntryURL, "http://"+exHost+"/") {
 		return Self

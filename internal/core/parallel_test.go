@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/crawler"
+	"repro/internal/testutil"
 )
 
 // referenceAnalysis runs the strictly sequential, cache-free configuration
@@ -26,6 +27,7 @@ func referenceAnalysis(st *Study) *Analysis {
 // deeply-equal Analysis — verdict slices in record order, identical
 // series, counters and aggregates — across multiple seeds.
 func TestAnalyzeParallelDeterminism(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	seeds := []uint64{3, 11, 29}
 	if testing.Short() {
 		seeds = seeds[:1]
@@ -88,6 +90,7 @@ func TestCacheStatsDeterministic(t *testing.T) {
 // sequentially computed baseline. Run under -race this is the pipeline's
 // data-race canary for scanner/blacklist/shortener/httpsim state.
 func TestConcurrentInspectStress(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	st := sharedStudy(t)
 	var recs []crawler.Record
 	cls := st.Analyzer.Classifier

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/crawler"
 	"repro/internal/exchange"
+	"repro/internal/httpsim"
 	"repro/internal/simrand"
 	"repro/internal/web"
 )
@@ -32,6 +33,15 @@ type StudyConfig struct {
 	// DisableVerdictCache turns off the single-flight per-URL verdict
 	// cache (every record then runs the full detector stack).
 	DisableVerdictCache bool
+	// FaultProfile names the httpsim fault profile the crawl transport
+	// runs through ("" or "off" = healthy universe). Faults apply only to
+	// the crawler's fetch path; the detector's scan-time network stays
+	// clean, so verdicts on successfully-fetched URLs are identical to a
+	// fault-free run.
+	FaultProfile string
+	// Retries bounds the crawler's per-URL re-fetch attempts after
+	// retryable failures.
+	Retries int
 }
 
 // DefaultStudyConfig returns the standard calibration.
@@ -47,6 +57,7 @@ func DefaultStudyConfig() StudyConfig {
 		MinMalPerPool:         12,
 		MinBenignPerPool:      12,
 		DriveShortenerTraffic: true,
+		Retries:               2,
 	}
 }
 
@@ -67,6 +78,13 @@ type Study struct {
 func NewStudy(cfg StudyConfig) (*Study, error) {
 	if cfg.Scale <= 0 {
 		return nil, fmt.Errorf("core: scale must be positive, got %d", cfg.Scale)
+	}
+	if _, ok := httpsim.ProfileByName(cfg.FaultProfile); !ok {
+		return nil, fmt.Errorf("core: unknown fault profile %q (have %v)",
+			cfg.FaultProfile, httpsim.ProfileNames())
+	}
+	if cfg.Retries < 0 {
+		return nil, fmt.Errorf("core: retries must be >= 0, got %d", cfg.Retries)
 	}
 	if cfg.MinMalPerPool <= 0 {
 		cfg.MinMalPerPool = 6
@@ -129,13 +147,24 @@ func (st *Study) BuildClassifier() *Classifier {
 	return &Classifier{ExchangeHosts: hosts, PopularHosts: st.Universe.PopularHosts}
 }
 
-// Run executes the crawl and the analysis.
+// Run executes the crawl and the analysis. When a fault profile is
+// configured, only the crawl transport is degraded: analysis-time network
+// access (scanner UA fetches, sub-resource pulls) runs against the clean
+// universe, which is what keeps verdicts on successfully-fetched URLs
+// byte-identical to a fault-free run.
 func (st *Study) Run() error {
 	if st.Config.DriveShortenerTraffic {
 		st.driveShortenerTraffic()
 	}
+	transport := httpsim.RoundTripper(st.Universe.Internet)
+	if prof, ok := httpsim.ProfileByName(st.Config.FaultProfile); ok && !prof.Zero() {
+		// Seed offset keeps the fault stream independent of the universe
+		// and detector streams derived from the same study seed.
+		transport = httpsim.NewFaultInjector(transport, prof, st.Config.Seed+0x5eed)
+	}
 	opts := crawler.DefaultOptions(0)
-	crawls, err := crawler.CrawlAll(st.Exchanges, st.Universe.Internet, st.Steps, opts)
+	opts.Retries = st.Config.Retries
+	crawls, err := crawler.CrawlAll(st.Exchanges, transport, st.Steps, opts)
 	if err != nil {
 		return fmt.Errorf("core: crawl: %w", err)
 	}

@@ -13,6 +13,7 @@ package crawler
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"time"
 
@@ -49,6 +50,14 @@ type Record struct {
 	// FetchErr records a failed fetch ("" on success); the URL still
 	// counts as crawled.
 	FetchErr string
+	// ErrKind is the taxonomy bucket of FetchErr ("" on success): one of
+	// "no-host", "bad-url", "conn-reset", "timeout", "truncated",
+	// "redirect-loop", "redirect-overflow", "deadline", "http-5xx",
+	// "transport".
+	ErrKind string
+	// Attempts counts fetch attempts made for this URL (1 = first try
+	// succeeded; retries raise it up to 1+Options.Retries).
+	Attempts int
 }
 
 // Crawl is one exchange's completed measurement.
@@ -76,18 +85,100 @@ type Options struct {
 	KeepBodies bool
 	// CaptureHAR enables HAR building.
 	CaptureHAR bool
+	// Retries bounds re-fetch attempts after a retryable failure (total
+	// attempts per URL = 1 + Retries). A transport error is always
+	// isolated to the single URL; retries just decide how hard the
+	// crawler fights for it before recording a failed fetch.
+	Retries int
+	// RetryBackoff is the base virtual delay before the first retry;
+	// later retries double it, with deterministic jitter (no wall-clock
+	// sleeping — the delay advances the crawl's virtual clock).
+	// Zero means 500ms.
+	RetryBackoff time.Duration
+	// FetchBudget caps the virtual latency a single fetch (all redirect
+	// hops) may accumulate — the per-request deadline. Zero means 15s;
+	// negative disables the deadline.
+	FetchBudget time.Duration
 }
 
-// DefaultOptions returns crawl options with bodies and HAR enabled.
+// DefaultOptions returns crawl options with bodies and HAR enabled, two
+// retries per URL, and a 15s virtual fetch deadline.
 func DefaultOptions(steps int) Options {
 	return Options{
-		Account:    "measurement-account",
-		IP:         "203.0.113.7",
-		Steps:      steps,
-		Start:      time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC),
-		KeepBodies: true,
-		CaptureHAR: true,
+		Account:      "measurement-account",
+		IP:           "203.0.113.7",
+		Steps:        steps,
+		Start:        time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC),
+		KeepBodies:   true,
+		CaptureHAR:   true,
+		Retries:      2,
+		RetryBackoff: 500 * time.Millisecond,
+		FetchBudget:  15 * time.Second,
 	}
+}
+
+// errTransient5xx marks a structurally-complete fetch whose final response
+// was a gateway-class server error (502/503/504) — retryable, and a fetch
+// failure if it persists past the retry budget.
+var errTransient5xx = errors.New("crawler: transient server error")
+
+// transient5xx reports whether a final status is a retryable server error.
+// Plain 500s are NOT included: the simulated universe uses 500 for broken
+// handlers, which are a stable property of the page, not the path to it.
+func transient5xx(status int) bool {
+	return status == 502 || status == 503 || status == 504
+}
+
+// errKind buckets a fetch error into the crawl-health taxonomy.
+func errKind(err error) string {
+	switch {
+	case errors.Is(err, httpsim.ErrNoHost):
+		return "no-host"
+	case errors.Is(err, httpsim.ErrBadURL):
+		return "bad-url"
+	case errors.Is(err, httpsim.ErrConnReset):
+		return "conn-reset"
+	case errors.Is(err, httpsim.ErrTimeout):
+		return "timeout"
+	case errors.Is(err, httpsim.ErrTruncated):
+		return "truncated"
+	case errors.Is(err, httpsim.ErrRedirectLoop):
+		return "redirect-loop"
+	case errors.Is(err, httpsim.ErrTooManyRedirects):
+		return "redirect-overflow"
+	case errors.Is(err, httpsim.ErrBudget):
+		return "deadline"
+	case errors.Is(err, errTransient5xx):
+		return "http-5xx"
+	default:
+		return "transport"
+	}
+}
+
+// retryable reports whether a retry could plausibly change the outcome.
+// NXDOMAIN and malformed URLs are permanent; everything else — resets,
+// timeouts, truncation, stalls, 5xx, and even redirect loops (the paper's
+// cloaking servers answer differently per request) — is worth re-trying.
+func retryable(err error) bool {
+	return !errors.Is(err, httpsim.ErrNoHost) && !errors.Is(err, httpsim.ErrBadURL)
+}
+
+// retryDelay computes the virtual backoff before retry number `attempt`
+// (1-based failed attempt): exponential in the attempt, capped at 8s, with
+// deterministic jitter in [d/2, 3d/2) hashed from the URL and attempt so
+// concurrent crawls stay schedule-independent.
+func retryDelay(base time.Duration, url string, attempt int) time.Duration {
+	if base <= 0 {
+		base = 500 * time.Millisecond
+	}
+	d := base << (attempt - 1)
+	if max := 8 * time.Second; d > max {
+		d = max
+	}
+	h := fnv.New64a()
+	h.Write([]byte(url))
+	h.Write([]byte{byte(attempt)})
+	return d/2 + time.Duration(h.Sum64()%uint64(d))
 }
 
 // NewClient builds the redirect-following browser client over a transport.
@@ -113,6 +204,12 @@ func CrawlExchange(ex *exchange.Exchange, transport httpsim.RoundTripper, opts O
 	defer ex.EndSession(opts.Account)
 
 	client := NewClient(transport)
+	switch {
+	case opts.FetchBudget > 0:
+		client.Budget = opts.FetchBudget
+	case opts.FetchBudget == 0:
+		client.Budget = 15 * time.Second
+	}
 	out := &Crawl{
 		Exchange: ex.Config().Name,
 		Kind:     ex.Config().Kind,
@@ -144,10 +241,46 @@ func CrawlExchange(ex *exchange.Exchange, transport httpsim.RoundTripper, opts O
 			Timestamp: clock,
 			EntryURL:  step.URL,
 		}
-		res, err := client.Get(step.URL, BrowserUA, ex.HomeURL())
-		if err != nil {
-			rec.FetchErr = err.Error()
+
+		// Fetch with bounded retry. A failure here is always isolated to
+		// this URL: the surf session continues, the failure is recorded,
+		// and the step's credit is still claimed below.
+		var res *httpsim.Result
+		var ferr error
+		attempt := 1
+		for {
+			res, ferr = client.Do(step.URL, BrowserUA, ex.HomeURL(), attempt)
+			if ferr == nil && res.Final != nil && transient5xx(res.Final.StatusCode) {
+				ferr = fmt.Errorf("%w: http %d from %s", errTransient5xx,
+					res.Final.StatusCode, res.FinalURL)
+			}
+			if ferr == nil || attempt > opts.Retries || !retryable(ferr) {
+				break
+			}
+			clock = clock.Add(retryDelay(opts.RetryBackoff, step.URL, attempt))
+			attempt++
+		}
+		rec.Attempts = attempt
+
+		if ferr != nil {
+			rec.FetchErr = ferr.Error()
+			rec.ErrKind = errKind(ferr)
 			rec.FinalURL = step.URL
+			// Keep whatever the partial chain established (forensics and
+			// the crawl-health section), but never a body: partial or
+			// error-page content must not reach the scanners as if it
+			// were the page.
+			if res != nil && len(res.Chain) > 0 {
+				rec.FinalURL = res.FinalURL
+				rec.Redirects = res.Redirects()
+				if res.Final != nil {
+					rec.Status = res.Final.StatusCode
+					rec.ContentType = res.Final.ContentType
+				}
+				for _, hop := range res.Chain {
+					clock = clock.Add(hop.Latency)
+				}
+			}
 		} else {
 			rec.FinalURL = res.FinalURL
 			rec.Redirects = res.Redirects()
@@ -205,10 +338,12 @@ func CrawlAll(exchanges []*exchange.Exchange, transport httpsim.RoundTripper, st
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	// A structural failure (registration, session, captcha) on one
+	// exchange must not mask the others: join every error so the caller
+	// sees the full picture. Transport-level trouble never lands here —
+	// it is isolated per URL inside CrawlExchange.
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

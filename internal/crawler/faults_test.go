@@ -1,0 +1,230 @@
+package crawler
+
+import (
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/exchange"
+	"repro/internal/httpsim"
+)
+
+// scriptedTransport lets a test overlay programmable failures on the
+// healthy universe: fn decides per request whether to hijack it.
+type scriptedTransport struct {
+	inner httpsim.RoundTripper
+	fn    func(req *httpsim.Request) (*httpsim.Response, error, bool)
+}
+
+func (s *scriptedTransport) RoundTrip(req *httpsim.Request) (*httpsim.Response, error) {
+	if resp, err, handled := s.fn(req); handled {
+		if resp != nil {
+			resp.Latency = 50 * time.Millisecond
+		}
+		return resp, err
+	}
+	return s.inner.RoundTrip(req)
+}
+
+// urlBucket assigns a URL to one of n stable buckets, so tests can fault a
+// deterministic subset of the rotation.
+func urlBucket(url string, n uint64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(url))
+	return h.Sum64() % n
+}
+
+func TestCrawlRetryRecoversTransientFault(t *testing.T) {
+	u, ex := setup(t, exchange.AutoSurf)
+	// Every request fails on attempts 1 and 2; attempt 3 goes through.
+	transport := &scriptedTransport{inner: u.Internet, fn: func(req *httpsim.Request) (*httpsim.Response, error, bool) {
+		if req.Attempt < 3 {
+			return nil, fmt.Errorf("%w: scripted", httpsim.ErrConnReset), true
+		}
+		return nil, nil, false
+	}}
+	crawl, err := CrawlExchange(ex, transport, DefaultOptions(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range crawl.Records {
+		if r.FetchErr != "" {
+			t.Fatalf("record %d failed despite retry budget: %s", r.Seq, r.FetchErr)
+		}
+		if r.Attempts != 3 {
+			t.Fatalf("record %d took %d attempts, want 3", r.Seq, r.Attempts)
+		}
+		if len(r.Body) == 0 {
+			t.Fatalf("record %d recovered but has no body", r.Seq)
+		}
+	}
+}
+
+func TestCrawlFaultIsolatedToSingleURL(t *testing.T) {
+	u, ex := setup(t, exchange.AutoSurf)
+	// One fifth of entry URLs is permanently dead — every attempt times
+	// out. The surf session must survive all of them.
+	transport := &scriptedTransport{inner: u.Internet, fn: func(req *httpsim.Request) (*httpsim.Response, error, bool) {
+		if urlBucket(req.URL, 5) == 0 {
+			return nil, fmt.Errorf("%w: scripted", httpsim.ErrTimeout), true
+		}
+		return nil, nil, false
+	}}
+	opts := DefaultOptions(150)
+	crawl, err := CrawlExchange(ex, transport, opts)
+	if err != nil {
+		t.Fatalf("a per-URL transport fault killed the whole session: %v", err)
+	}
+	if len(crawl.Records) != 150 {
+		t.Fatalf("records = %d, want 150 (failed URLs still count as crawled)", len(crawl.Records))
+	}
+	failed, ok := 0, 0
+	for _, r := range crawl.Records {
+		if r.FetchErr != "" {
+			failed++
+			if r.ErrKind != "timeout" {
+				t.Fatalf("record %d ErrKind = %q, want timeout", r.Seq, r.ErrKind)
+			}
+			if r.Attempts != 1+opts.Retries {
+				t.Fatalf("record %d gave up after %d attempts, want %d", r.Seq, r.Attempts, 1+opts.Retries)
+			}
+			if len(r.Body) != 0 {
+				t.Fatalf("failed record %d carries a body", r.Seq)
+			}
+			if r.EntryURL == "" {
+				t.Fatalf("failed record %d lost its entry URL", r.Seq)
+			}
+		} else {
+			ok++
+		}
+	}
+	if failed == 0 || ok == 0 {
+		t.Fatalf("want a mix of outcomes, got %d failed / %d ok", failed, ok)
+	}
+	// The virtual clock keeps moving through failures (backoff delays).
+	for i := 1; i < len(crawl.Records); i++ {
+		if !crawl.Records[i].Timestamp.After(crawl.Records[i-1].Timestamp) {
+			t.Fatalf("timestamps not increasing at %d", i)
+		}
+	}
+}
+
+func TestCrawlPermanentErrorNotRetried(t *testing.T) {
+	u, ex := setup(t, exchange.AutoSurf)
+	transport := &scriptedTransport{inner: u.Internet, fn: func(req *httpsim.Request) (*httpsim.Response, error, bool) {
+		if urlBucket(req.URL, 4) == 0 {
+			return nil, fmt.Errorf("%w: scripted", httpsim.ErrNoHost), true
+		}
+		return nil, nil, false
+	}}
+	crawl, err := CrawlExchange(ex, transport, DefaultOptions(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := 0
+	for _, r := range crawl.Records {
+		if r.FetchErr == "" {
+			continue
+		}
+		failed++
+		if r.ErrKind != "no-host" {
+			t.Fatalf("record %d ErrKind = %q, want no-host", r.Seq, r.ErrKind)
+		}
+		if r.Attempts != 1 {
+			t.Fatalf("record %d retried an NXDOMAIN %d times", r.Seq, r.Attempts-1)
+		}
+	}
+	if failed == 0 {
+		t.Fatal("no URL hit the dead bucket; test exercised nothing")
+	}
+}
+
+func TestCrawlTransient5xxRetriedThenRecorded(t *testing.T) {
+	u, ex := setup(t, exchange.AutoSurf)
+	transport := &scriptedTransport{inner: u.Internet, fn: func(req *httpsim.Request) (*httpsim.Response, error, bool) {
+		if urlBucket(req.URL, 5) == 1 {
+			return &httpsim.Response{StatusCode: 503, ContentType: "text/html"}, nil, true
+		}
+		return nil, nil, false
+	}}
+	opts := DefaultOptions(100)
+	crawl, err := CrawlExchange(ex, transport, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := 0
+	for _, r := range crawl.Records {
+		if r.FetchErr == "" {
+			continue
+		}
+		failed++
+		if r.ErrKind != "http-5xx" {
+			t.Fatalf("record %d ErrKind = %q, want http-5xx", r.Seq, r.ErrKind)
+		}
+		if r.Attempts != 1+opts.Retries {
+			t.Fatalf("record %d attempts = %d, want %d (5xx is retryable)", r.Seq, r.Attempts, 1+opts.Retries)
+		}
+		// The partial chain is kept for forensics: status shows the 503.
+		if r.Status != 503 {
+			t.Fatalf("record %d status = %d, want 503 preserved", r.Seq, r.Status)
+		}
+	}
+	if failed == 0 {
+		t.Fatal("no URL hit the 503 bucket; test exercised nothing")
+	}
+}
+
+func TestCrawlUnderFaultInjectorDeterministic(t *testing.T) {
+	hostile, _ := httpsim.ProfileByName("hostile")
+	run := func() []Record {
+		u, ex := setup(t, exchange.AutoSurf)
+		inj := httpsim.NewFaultInjector(u.Internet, hostile, 99)
+		crawl, err := CrawlExchange(ex, inj, DefaultOptions(200))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return crawl.Records
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		for i := range a {
+			if !reflect.DeepEqual(a[i], b[i]) {
+				t.Fatalf("faulty crawl diverged at record %d:\n run1: %+v\n run2: %+v", i, a[i], b[i])
+			}
+		}
+		t.Fatal("faulty crawl runs differ")
+	}
+	failed := 0
+	for _, r := range a {
+		if r.FetchErr != "" {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Fatal("hostile profile failed nothing across 200 URLs")
+	}
+}
+
+func TestRetryDelayDeterministicAndBounded(t *testing.T) {
+	base := 500 * time.Millisecond
+	for attempt := 1; attempt <= 6; attempt++ {
+		d1 := retryDelay(base, "http://x.test/page", attempt)
+		d2 := retryDelay(base, "http://x.test/page", attempt)
+		if d1 != d2 {
+			t.Fatalf("retryDelay not deterministic at attempt %d: %v vs %v", attempt, d1, d2)
+		}
+		// Exponential base, capped at 8s, jitter in [d/2, 3d/2).
+		exp := base << (attempt - 1)
+		if exp > 8*time.Second {
+			exp = 8 * time.Second
+		}
+		if d1 < exp/2 || d1 >= exp/2*3 {
+			t.Fatalf("attempt %d delay %v outside [%v, %v)", attempt, d1, exp/2, exp/2*3)
+		}
+	}
+	if retryDelay(0, "http://x.test/", 1) <= 0 {
+		t.Fatal("zero base must fall back to a positive default")
+	}
+}

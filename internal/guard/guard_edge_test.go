@@ -1,0 +1,110 @@
+package guard
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCheckURLEdgeCases walks the guard through malformed and
+// boundary-case navigation targets: the extension must stay silent (and
+// not panic) on anything it cannot attribute to an exchange.
+func TestCheckURLEdgeCases(t *testing.T) {
+	g := NewSurfGuard([]string{"10khits.sim", "hitleap.sim"})
+	cases := []struct {
+		name string
+		url  string
+		warn bool
+	}{
+		{"empty", "", false},
+		{"whitespace", "   ", false},
+		{"no host", "http://", false},
+		{"bare dot host", "http://./", false},
+		{"unsupported scheme", "ftp://10khits.sim/", false},
+		{"mixed-case scheme", "HTTP://10KHITS.SIM/", true},
+		{"mixed-case host", "http://WwW.10kHiTs.SiM/path", true},
+		{"trailing-dot host", "http://10khits.sim./", true},
+		{"subdomain of exchange", "http://members.10khits.sim/login", true},
+		{"lookalike suffix", "http://not10khits.sim/", false},
+		{"exchange as path only", "http://benign.sim/10khits.sim", false},
+		{"exchange as query only", "http://benign.sim/?next=10khits.sim", false},
+		{"scheme-less exchange", "hitleap.sim/surf", true},
+		{"port on exchange", "http://10khits.sim:8080/", true},
+		{"invalid punctuation host", "http://ex_change!.sim/", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := g.CheckURL(tc.url).Warn; got != tc.warn {
+				t.Errorf("CheckURL(%q).Warn = %v, want %v", tc.url, got, tc.warn)
+			}
+		})
+	}
+}
+
+// TestAddExchangeNormalizes checks list registration folds case and
+// subdomains down to the registered domain.
+func TestAddExchangeNormalizes(t *testing.T) {
+	g := NewSurfGuard(nil)
+	g.AddExchange("WWW.Traffic-Exchange.COM")
+	for _, url := range []string{
+		"http://traffic-exchange.com/",
+		"http://surf.traffic-exchange.com/bar",
+		"https://WWW.TRAFFIC-EXCHANGE.COM/",
+	} {
+		if !g.CheckURL(url).Warn {
+			t.Errorf("CheckURL(%q) did not warn after AddExchange", url)
+		}
+	}
+	if g.CheckURL("http://traffic-exchange.com.evil.sim/").Warn {
+		t.Error("warned on a domain merely prefixed with the exchange name")
+	}
+}
+
+// TestCheckPageEdgeCases drives the content heuristic through boundary
+// bodies.
+func TestCheckPageEdgeCases(t *testing.T) {
+	g := NewSurfGuard(nil)
+	surfBar := `<html><body><div id="timer">30</div>` +
+		`<iframe id="surf-frame" width="100%"></iframe></body></html>`
+	cases := []struct {
+		name string
+		url  string
+		body string
+		warn bool
+	}{
+		{"empty body", "http://unknown.sim/", "", false},
+		{"timer only", "http://unknown.sim/", `<div id="timer"></div>`, false},
+		{"iframe only", "http://unknown.sim/", `<iframe width="100%"></iframe>`, false},
+		{"timer plus rotation iframe", "http://unknown.sim/", surfBar, true},
+		{"surfbar class variant", "http://unknown.sim/",
+			`<div class="SurfBar"></div><iframe id="surfFrame"></iframe>`, true},
+		{"unparseable url still scans body", "http://", surfBar, true},
+		{"huge benign body", "http://unknown.sim/",
+			"<html><body>" + strings.Repeat("<p>text</p>", 5000) + "</body></html>", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := g.CheckPage(tc.url, []byte(tc.body)).Warn; got != tc.warn {
+				t.Errorf("CheckPage(%q).Warn = %v, want %v", tc.name, got, tc.warn)
+			}
+		})
+	}
+	// With heuristics disabled only the (empty) domain list remains.
+	g.HeuristicsEnabled = false
+	if g.CheckPage("http://unknown.sim/", []byte(surfBar)).Warn {
+		t.Error("heuristics fired while disabled")
+	}
+}
+
+// TestVetterSingleImpression checks the vetter stays sane on a batch of
+// one: every share is 0 or 1 and nothing divides by zero.
+func TestVetterSingleImpression(t *testing.T) {
+	g := NewSurfGuard([]string{"10khits.sim"})
+	v := NewAdFraudVetter(g)
+	r := v.Vet([]Impression{{PageURL: "http://pub.sim/", Referrer: "http://10khits.sim/", IP: "1.2.3.4"}})
+	if r.Total != 1 || r.ExchangeReferred != 1 || r.UniqueIPs != 1 {
+		t.Fatalf("unexpected single-impression report: %+v", r)
+	}
+	if r.Score < 0 || r.Score > 1 {
+		t.Fatalf("score %v outside [0,1]", r.Score)
+	}
+}

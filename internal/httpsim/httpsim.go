@@ -35,6 +35,10 @@ type Request struct {
 	Referrer  string
 	// Header holds any additional headers.
 	Header map[string]string
+	// Attempt is the 1-based fetch attempt this request belongs to.
+	// Retrying callers bump it so the fault-injection layer re-rolls its
+	// (seeded, stateless) decision; zero is treated as attempt 1.
+	Attempt int
 }
 
 func (r *Request) method() string {
@@ -56,6 +60,17 @@ type Response struct {
 	// is derived deterministically from the URL; no wall-clock sleeping
 	// happens.
 	Latency time.Duration
+	// DeclaredLength, when non-zero, is the body length the server
+	// announced (the Content-Length analog). A body shorter than the
+	// declaration means the transfer was cut off mid-stream; the Client
+	// surfaces that as ErrTruncated instead of handing partial content to
+	// the analysis pipeline.
+	DeclaredLength int
+}
+
+// Truncated reports whether the body arrived shorter than declared.
+func (r *Response) Truncated() bool {
+	return r.DeclaredLength > 0 && len(r.Body) < r.DeclaredLength
 }
 
 // Handler produces a Response for a Request. Handlers see the full request
@@ -185,6 +200,11 @@ type Client struct {
 	// MetaRefreshTarget extracts the refresh target from an HTML body, or
 	// "" if none. Required when FollowMetaRefresh is set.
 	MetaRefreshTarget func(body []byte) string
+	// Budget bounds the total virtual latency a single fetch (all hops)
+	// may accumulate — the per-request deadline analog. Zero means no
+	// limit. Exceeding it returns ErrBudget with the partial chain; no
+	// wall-clock time is involved.
+	Budget time.Duration
 }
 
 // RoundTripper is the single-exchange transport interface. *Internet
@@ -206,6 +226,14 @@ func NewClient(t RoundTripper) *Client {
 // browser behaviour (and feeding the shortener hit-statistics referrer
 // fields).
 func (c *Client) Get(url, userAgent, referrer string) (*Result, error) {
+	return c.Do(url, userAgent, referrer, 1)
+}
+
+// Do is Get with an explicit 1-based attempt number, threaded into every
+// hop's Request so the fault-injection layer can re-roll per retry. Even
+// on error the returned Result carries the hops completed so far, letting
+// callers account for partial chains.
+func (c *Client) Do(url, userAgent, referrer string, attempt int) (*Result, error) {
 	res := &Result{}
 	seen := make(map[string]bool)
 	current := url
@@ -214,6 +242,7 @@ func (c *Client) Get(url, userAgent, referrer string) (*Result, error) {
 	if maxHops <= 0 {
 		maxHops = 12
 	}
+	var elapsed time.Duration
 	for hop := 0; hop < maxHops; hop++ {
 		norm, err := urlutil.Normalize(current)
 		if err != nil {
@@ -224,9 +253,18 @@ func (c *Client) Get(url, userAgent, referrer string) (*Result, error) {
 		}
 		seen[norm] = true
 
-		resp, err := c.transport.RoundTrip(&Request{URL: current, UserAgent: userAgent, Referrer: ref})
+		resp, err := c.transport.RoundTrip(&Request{URL: current, UserAgent: userAgent, Referrer: ref, Attempt: attempt})
 		if err != nil {
 			return res, err
+		}
+		if resp.Truncated() {
+			return res, fmt.Errorf("%w: %s: got %d of %d bytes",
+				ErrTruncated, norm, len(resp.Body), resp.DeclaredLength)
+		}
+		elapsed += resp.Latency
+		if c.Budget > 0 && elapsed > c.Budget {
+			return res, fmt.Errorf("%w: %v elapsed at %s (budget %v)",
+				ErrBudget, elapsed, norm, c.Budget)
 		}
 		h := Hop{
 			URL:         norm,

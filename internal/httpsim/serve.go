@@ -1,12 +1,15 @@
 package httpsim
 
 import (
+	"errors"
+	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 )
 
-// AsHTTPHandler adapts the virtual Internet onto a real net/http handler
+// AsHTTPHandler adapts a virtual transport onto a real net/http handler
 // using Host-header routing, so the whole synthetic universe can be served
 // from one listener:
 //
@@ -16,7 +19,13 @@ import (
 // cmd/slumserve uses this to let a human poke the simulated exchanges and
 // malware pages with a real browser or curl; the integration tests use it
 // to prove the virtual handlers behave identically over a real TCP stack.
-func AsHTTPHandler(in *Internet) http.Handler {
+//
+// The transport is any RoundTripper, so a FaultInjector-wrapped universe
+// serves its faults for real: injected connection resets and timeouts
+// abort the TCP connection mid-response, and truncated bodies go out with
+// the full declared Content-Length so curl reports the transfer as cut
+// off — exactly what the simulated client experiences.
+func AsHTTPHandler(rt RoundTripper) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		host := r.Host
 		if i := strings.IndexByte(host, ':'); i >= 0 {
@@ -27,13 +36,20 @@ func AsHTTPHandler(in *Internet) http.Handler {
 			scheme = "https"
 		}
 		url := scheme + "://" + host + r.URL.RequestURI()
-		resp, err := in.RoundTrip(&Request{
+		attempt, _ := strconv.Atoi(r.Header.Get("X-Sim-Attempt"))
+		resp, err := rt.RoundTrip(&Request{
 			Method:    r.Method,
 			URL:       url,
 			UserAgent: r.UserAgent(),
 			Referrer:  r.Referer(),
+			Attempt:   attempt,
 		})
-		if err != nil {
+		switch {
+		case errors.Is(err, ErrConnReset), errors.Is(err, ErrTimeout):
+			// Abort the connection without a response, as the simulated
+			// client sees it: curl gets "connection reset" / "empty reply".
+			panic(http.ErrAbortHandler)
+		case err != nil:
 			http.Error(w, err.Error(), http.StatusBadGateway)
 			return
 		}
@@ -45,6 +61,12 @@ func AsHTTPHandler(in *Internet) http.Handler {
 		}
 		if resp.Location != "" {
 			w.Header().Set("Location", resp.Location)
+		}
+		if resp.Truncated() {
+			// Promise the full body, deliver the partial one: the server
+			// closes the connection short and real clients observe an
+			// incomplete transfer instead of silently-valid partial content.
+			w.Header().Set("Content-Length", strconv.Itoa(resp.DeclaredLength))
 		}
 		w.WriteHeader(resp.StatusCode)
 		if len(resp.Body) > 0 {
@@ -112,6 +134,11 @@ func (t *RealTransport) RoundTrip(req *Request) (*Response, error) {
 	if req.Referrer != "" {
 		hreq.Header.Set("Referer", req.Referrer)
 	}
+	if req.Attempt > 1 {
+		// Thread the retry attempt through to AsHTTPHandler so a
+		// fault-injected server re-rolls exactly like the in-memory path.
+		hreq.Header.Set("X-Sim-Attempt", strconv.Itoa(req.Attempt))
+	}
 	for k, v := range req.Header {
 		hreq.Header.Set(k, v)
 	}
@@ -122,6 +149,11 @@ func (t *RealTransport) RoundTrip(req *Request) (*Response, error) {
 	defer hresp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(hresp.Body, 8<<20))
 	if err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			// The server declared more bytes than it sent — the real-HTTP
+			// form of an injected truncation.
+			return nil, fmt.Errorf("%w: %s: %v", ErrTruncated, req.URL, err)
+		}
 		return nil, err
 	}
 	return &Response{

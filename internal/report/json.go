@@ -28,11 +28,34 @@ type JSONReport struct {
 		MiscCount  int         `json:"miscCount"`
 		MiscShare  float64     `json:"miscShare"`
 	} `json:"table3"`
-	Table4  []shortener.HitStats `json:"table4"`
-	Figure3 []JSONSeries         `json:"figure3"`
-	Figure5 []stats.IntBucket    `json:"figure5"`
-	Figure6 []JSONShare          `json:"figure6"`
-	Figure7 []JSONShare          `json:"figure7"`
+	Table4      []JSONShortRow   `json:"table4"`
+	Figure3     []JSONSeries     `json:"figure3"`
+	Figure5     []stats.IntBucket `json:"figure5"`
+	Figure6     []JSONShare      `json:"figure6"`
+	Figure7     []JSONShare      `json:"figure7"`
+	CrawlHealth *JSONCrawlHealth `json:"crawlHealth,omitempty"`
+}
+
+// JSONShortRow aliases the shortener hit statistics into the report schema.
+type JSONShortRow = shortener.HitStats
+
+// JSONCrawlHealth is the machine-readable crawl-health section.
+type JSONCrawlHealth struct {
+	TotalFailed  int                  `json:"totalFailed"`
+	TotalRetries int                  `json:"totalRetries"`
+	FailRate     float64              `json:"failRate"`
+	ErrorKinds   []JSONShare          `json:"errorKinds,omitempty"`
+	PerExchange  []JSONExchangeHealth `json:"perExchange"`
+}
+
+// JSONExchangeHealth is one exchange's crawl-health row.
+type JSONExchangeHealth struct {
+	Name      string      `json:"name"`
+	Crawled   int         `json:"crawled"`
+	Failed    int         `json:"failed"`
+	PctFailed float64     `json:"pctFailed"`
+	Retries   int         `json:"retries"`
+	Kinds     []JSONShare `json:"kinds,omitempty"`
 }
 
 // JSONExchangeRow is a Table I row.
@@ -122,6 +145,30 @@ func BuildJSON(a *core.Analysis, short []shortener.HitStats) *JSONReport {
 	}
 	for _, it := range a.ContentCategories.Items() {
 		out.Figure7 = append(out.Figure7, JSONShare{Key: it.Key, Count: it.Count, Share: it.Share})
+	}
+	if h := a.Health; h != nil {
+		jh := &JSONCrawlHealth{
+			TotalFailed:  h.TotalFailed,
+			TotalRetries: h.TotalRetries,
+			FailRate:     stats.Ratio(h.TotalFailed, a.TotalCrawled),
+		}
+		for _, it := range h.ErrorKinds.Items() {
+			jh.ErrorKinds = append(jh.ErrorKinds, JSONShare{Key: it.Key, Count: it.Count, Share: it.Share})
+		}
+		for _, row := range h.PerExchange {
+			jr := JSONExchangeHealth{
+				Name: row.Name, Crawled: row.Crawled, Failed: row.Failed,
+				PctFailed: row.PctFailed(), Retries: row.Retries,
+			}
+			for _, kc := range row.Kinds {
+				jr.Kinds = append(jr.Kinds, JSONShare{
+					Key: kc.Kind, Count: kc.Count,
+					Share: stats.Ratio(kc.Count, row.Failed),
+				})
+			}
+			jh.PerExchange = append(jh.PerExchange, jr)
+		}
+		out.CrawlHealth = jh
 	}
 	return out
 }

@@ -278,6 +278,48 @@ func bar(frac float64, width int) string {
 	return "[" + strings.Repeat("#", n) + strings.Repeat(".", width-n) + "]"
 }
 
+// CrawlHealthReport renders the crawl-health section: per-exchange fetch
+// outcomes, retry effort, and the error taxonomy of everything that
+// failed. The paper's crawl ran against a hostile substrate (dead member
+// sites, stalling redirect chains, cloaking servers); this section makes
+// the degradation explicit so a reader can judge how much of the measured
+// malice rate rests on how much surviving data.
+func CrawlHealthReport(a *core.Analysis) string {
+	var b strings.Builder
+	b.WriteString("CRAWL HEALTH: FETCH OUTCOMES AND ERROR TAXONOMY\n")
+	h := a.Health
+	if h == nil {
+		b.WriteString("(no crawl-health data recorded)\n")
+		return b.String()
+	}
+	t := NewTable("Exchange", "# Crawled", "# Analyzed", "# Failed", "% Failed", "# Retries")
+	for _, row := range h.PerExchange {
+		t.Row(row.Name,
+			comma(row.Crawled), comma(row.Crawled-row.Failed),
+			comma(row.Failed), stats.Pct(row.PctFailed()),
+			comma(row.Retries))
+	}
+	t.Row("TOTAL",
+		comma(a.TotalCrawled), comma(a.TotalAnalyzed()),
+		comma(h.TotalFailed), stats.Pct(stats.Ratio(h.TotalFailed, a.TotalCrawled)),
+		comma(h.TotalRetries))
+	b.WriteString(t.String())
+	if !h.Degraded() {
+		b.WriteString("(healthy crawl: every fetch succeeded on the first attempt)\n")
+		return b.String()
+	}
+	b.WriteString("\nError taxonomy (failed fetches by final error):\n")
+	et := NewTable("Kind", "Count", "Share")
+	for _, item := range h.ErrorKinds.Items() {
+		et.Row(item.Key, comma(item.Count), stats.Pct(item.Share))
+	}
+	if h.ErrorKinds.Total() == 0 {
+		et.Row("(none)", "", "")
+	}
+	b.WriteString(et.String())
+	return b.String()
+}
+
 // Headline renders the dataset summary of §III-A.
 func Headline(a *core.Analysis) string {
 	return fmt.Sprintf(

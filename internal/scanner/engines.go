@@ -237,7 +237,10 @@ func (m *MultiEngine) ScanURL(url string) Report {
 		if ua == "" {
 			ua = "VirusTotalBot/1.0"
 		}
-		if resp, err := m.Fetcher.RoundTrip(&httpsim.Request{URL: url, UserAgent: ua}); err == nil {
+		// Truncated downloads are discarded: half a page must never be
+		// scanned as if it were the page (the engines would hash and
+		// signature-match the wrong content).
+		if resp, err := m.Fetcher.RoundTrip(&httpsim.Request{URL: url, UserAgent: ua}); err == nil && !resp.Truncated() {
 			content = resp.Body
 		}
 	}

@@ -149,7 +149,9 @@ func (h *Heuristic) scanHTML(f *Findings, url, body string) {
 			resp, err := h.ResourceFetcher.RoundTrip(&httpsim.Request{
 				URL: resolved, UserAgent: h.BrowserUA, Referrer: url,
 			})
-			if err != nil || resp.StatusCode != 200 {
+			// A truncated body is not the resource — scanning half a script
+			// can invent or hide findings, so skip it like a failed fetch.
+			if err != nil || resp.StatusCode != 200 || resp.Truncated() {
 				continue
 			}
 			fetched++
@@ -169,7 +171,7 @@ func (h *Heuristic) scanHTML(f *Findings, url, body string) {
 			resp, err := h.ResourceFetcher.RoundTrip(&httpsim.Request{
 				URL: resolveOn(url, src), UserAgent: h.BrowserUA, Referrer: url,
 			})
-			if err != nil || resp.StatusCode != 200 {
+			if err != nil || resp.StatusCode != 200 || resp.Truncated() {
 				continue
 			}
 			fetched++
@@ -186,7 +188,7 @@ func (h *Heuristic) scanHTML(f *Findings, url, body string) {
 			resp, err := h.ResourceFetcher.RoundTrip(&httpsim.Request{
 				URL: resolveOn(url, href), UserAgent: h.BrowserUA, Referrer: url,
 			})
-			if err != nil || resp.StatusCode != 200 {
+			if err != nil || resp.StatusCode != 200 || resp.Truncated() {
 				continue
 			}
 			fetched++

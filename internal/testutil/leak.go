@@ -1,0 +1,43 @@
+// Package testutil holds helpers shared by test suites across packages.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// VerifyNoLeaks registers a cleanup that fails the test if the goroutine
+// count has grown by the end of the test. Call it first thing, before the
+// code under test spawns anything:
+//
+//	func TestPipeline(t *testing.T) {
+//		testutil.VerifyNoLeaks(t)
+//		...
+//	}
+//
+// Finished goroutines are reaped asynchronously by the runtime, so the
+// check polls with a grace period before declaring a leak rather than
+// snapshotting once.
+func VerifyNoLeaks(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d goroutines at cleanup, %d at start\n%s",
+			n, base, buf)
+	})
+}

@@ -1,0 +1,98 @@
+package urlutil
+
+import "testing"
+
+// TestParseEdgeCases is the table of boundary inputs the crawler's fetch
+// path can feed the parser: empty hosts, mixed-case schemes, degenerate
+// dots, stray ports.
+func TestParseEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		raw     string
+		wantErr bool
+		host    string
+		scheme  string
+	}{
+		{"empty", "", true, "", ""},
+		{"spaces only", "   ", true, "", ""},
+		{"scheme only", "http://", true, "", ""},
+		{"empty host with path", "http:///path", true, "", ""},
+		{"dot host", "http://./", true, "", ""},
+		{"double-dot host", "http://../", true, "", ""},
+		{"internal empty label", "http://a..b/", true, "", ""},
+		{"leading dot", "http://.example.com/", true, "", ""},
+		{"mixed-case scheme", "HtTpS://Example.COM/", false, "example.com", "https"},
+		{"upper scheme and host", "HTTP://WWW.EXAMPLE.CO.UK/X", false, "www.example.co.uk", "http"},
+		{"scheme-less", "Example.COM/x", false, "example.com", "http"},
+		{"underscore host", "http://bad_host.com/", true, "", ""},
+		{"ipv4", "http://127.0.0.1:8080/", false, "127.0.0.1", "http"},
+		{"unsupported scheme", "javascript://example.com/", true, "", ""},
+		{"port without host", "http://:80/", true, "", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := Parse(tc.raw)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Parse(%q) = %+v, want error", tc.raw, p)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tc.raw, err)
+			}
+			if p.Host != tc.host || p.Scheme != tc.scheme {
+				t.Fatalf("Parse(%q) = host %q scheme %q, want %q %q",
+					tc.raw, p.Host, p.Scheme, tc.host, tc.scheme)
+			}
+		})
+	}
+}
+
+// TestRegisteredDomainEdgeCases covers the degenerate hosts the fuzz
+// target hardened the splitter against.
+func TestRegisteredDomainEdgeCases(t *testing.T) {
+	cases := []struct{ host, want string }{
+		{"", ""},
+		{".", ""},
+		{"..", ""},
+		{"com", "com"},
+		{"example.com.", "example.com"},
+		{"example.com...", "example.com"},
+		{"EXAMPLE.Com", "example.com"},
+		{"b.co.uk", "b.co.uk"},
+		{"www.school.k12.or.us", "school.k12.or.us"},
+		{"deep.a.b.co.uk", "b.co.uk"},
+	}
+	for _, tc := range cases {
+		if got := RegisteredDomain(tc.host); got != tc.want {
+			t.Errorf("RegisteredDomain(%q) = %q, want %q", tc.host, got, tc.want)
+		}
+		// Idempotence — the invariant FuzzSplit enforces.
+		if got := RegisteredDomain(RegisteredDomain(tc.host)); got != tc.want {
+			t.Errorf("RegisteredDomain^2(%q) = %q, want %q", tc.host, got, tc.want)
+		}
+	}
+}
+
+// TestNormalizeEdgeCases pins the canonical forms used as distinct-URL
+// and verdict-cache keys.
+func TestNormalizeEdgeCases(t *testing.T) {
+	cases := []struct{ raw, want string }{
+		{"HTTP://EXAMPLE.COM", "http://example.com/"},
+		{"https://Example.com:443/a", "https://example.com/a"},
+		{"http://example.com:80/a?b=C#frag", "http://example.com/a?b=C"},
+		{"http://example.com:8080/", "http://example.com:8080/"},
+		{"example.com", "http://example.com/"},
+	}
+	for _, tc := range cases {
+		got, err := Normalize(tc.raw)
+		if err != nil {
+			t.Errorf("Normalize(%q): %v", tc.raw, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("Normalize(%q) = %q, want %q", tc.raw, got, tc.want)
+		}
+	}
+}

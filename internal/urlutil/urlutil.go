@@ -156,7 +156,7 @@ func isDefaultPort(scheme, port string) bool {
 // matching how Table II counts them. A host that is itself a bare public
 // suffix is returned unchanged.
 func RegisteredDomain(host string) string {
-	host = strings.ToLower(strings.TrimSuffix(host, "."))
+	host = strings.ToLower(strings.TrimRight(host, "."))
 	labels := strings.Split(host, ".")
 	if len(labels) <= 2 {
 		return host
@@ -176,7 +176,7 @@ func RegisteredDomain(host string) string {
 
 // TLD returns the final public-suffix of a host (e.g. "com", "co.uk").
 func TLD(host string) string {
-	host = strings.ToLower(strings.TrimSuffix(host, "."))
+	host = strings.ToLower(strings.TrimRight(host, "."))
 	labels := strings.Split(host, ".")
 	if len(labels) == 1 {
 		return host
