@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	slumcrawl [-seed N] [-scale N] [-faults PROFILE] [-retries N] -out dataset.jsonl [-hardir DIR]
+//	slumcrawl [-seed N] [-scale N] [-faults PROFILE] [-retries N] [-metrics] -out dataset.jsonl [-hardir DIR]
 //
 // -faults injects deterministic transport faults into the crawl; failed
 // fetches are persisted as records with fetchErr/errKind set, so slumscan
@@ -23,6 +23,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/har"
 	"repro/internal/httpsim"
+	"repro/internal/obs"
+	"repro/internal/report"
 )
 
 func main() {
@@ -41,6 +43,7 @@ func run(args []string) error {
 	retries := fs.Int("retries", 2, "crawl retries per URL after the first attempt")
 	out := fs.String("out", "dataset.jsonl", "output dataset path")
 	harDir := fs.String("hardir", "", "directory for per-exchange HAR archives (optional)")
+	withMetrics := fs.Bool("metrics", false, "instrument the crawl and print a METRICS section to stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,6 +54,10 @@ func run(args []string) error {
 	cfg.Workers = *workers
 	cfg.FaultProfile = *faults
 	cfg.Retries = *retries
+	if *withMetrics {
+		cfg.Metrics = obs.NewRegistry()
+		cfg.Tracer = obs.NewTracer()
+	}
 	st, err := core.NewStudy(cfg)
 	if err != nil {
 		return err
@@ -102,6 +109,10 @@ func run(args []string) error {
 			}
 		}
 		fmt.Fprintf(os.Stderr, "wrote HAR archives to %s\n", *harDir)
+	}
+	// Dataset bytes go to -out, so stdout is free for the METRICS section.
+	if *withMetrics {
+		fmt.Println(report.MetricsReport(obs.NewExport(cfg.Metrics, cfg.Tracer)))
 	}
 	return nil
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	slumreport [-seed N] [-scale N] [-workers N] [-faults PROFILE] [-retries N] [-table N] [-figure N]
+//	slumreport [-seed N] [-scale N] [-workers N] [-faults PROFILE] [-retries N] [-table N] [-figure N] [-metrics]
 //
 // With no -table/-figure selection, everything is printed. -scale divides
 // the paper's crawl volumes (default 20: ~50k URLs, seconds of runtime;
@@ -14,6 +14,10 @@
 // transport faults into the crawl (off, flaky, lossy, slow, hostile) and
 // -retries bounds the crawler's per-URL retry budget; the crawl-health
 // section reports the resulting fetch outcomes and error taxonomy.
+// -metrics instruments the run and appends a METRICS section (event
+// counters, stage-latency table, runtime snapshot) after the report;
+// with -json the same export lands in a "metrics" block. Output without
+// the flag is byte-identical to an uninstrumented run.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/httpsim"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -45,6 +50,7 @@ func run(args []string, out io.Writer) error {
 	table := fs.Int("table", 0, "print only this table (1-4)")
 	figure := fs.Int("figure", 0, "print only this figure (2, 3, 5, 6, 7)")
 	asJSON := fs.Bool("json", false, "emit every table and figure as JSON")
+	withMetrics := fs.Bool("metrics", false, "instrument the run and append a METRICS section")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,6 +64,10 @@ func run(args []string, out io.Writer) error {
 	cfg.Workers = *workers
 	cfg.FaultProfile = *faults
 	cfg.Retries = *retries
+	if *withMetrics {
+		cfg.Metrics = obs.NewRegistry()
+		cfg.Tracer = obs.NewTracer()
+	}
 	fmt.Fprintf(os.Stderr, "running study: seed=%d scale=%d (~%d URLs)...\n",
 		cfg.Seed, cfg.Scale, 1003087/cfg.Scale)
 	st, err := core.RunStudy(cfg)
@@ -67,7 +77,11 @@ func run(args []string, out io.Writer) error {
 	a := st.Analysis
 
 	if *asJSON {
-		return report.WriteJSON(out, a, a.ShortURLStats(st.Universe.Shorteners))
+		rep := report.BuildJSON(a, a.ShortURLStats(st.Universe.Shorteners))
+		if *withMetrics {
+			rep.Metrics = obs.NewExport(cfg.Metrics, cfg.Tracer)
+		}
+		return report.EncodeJSON(out, rep)
 	}
 
 	sections := []struct {
@@ -99,6 +113,11 @@ func run(args []string, out io.Writer) error {
 	}
 	if !printed {
 		return fmt.Errorf("nothing matches -table %d -figure %d", *table, *figure)
+	}
+	// The METRICS section is strictly appended after every selected
+	// section, so output without -metrics is a byte-prefix of output with.
+	if *withMetrics {
+		fmt.Fprintln(out, report.MetricsReport(obs.NewExport(cfg.Metrics, cfg.Tracer)))
 	}
 	return nil
 }

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	slumscan -in dataset.jsonl [-seed N] [-scale N] [-table N] [-figure N]
+//	slumscan -in dataset.jsonl [-seed N] [-scale N] [-table N] [-figure N] [-metrics]
 package main
 
 import (
@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/crawler"
 	"repro/internal/har"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -75,6 +76,7 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "analysis worker pool size (0 = all CPUs)")
 	table := fs.Int("table", 0, "print only this table (1-4)")
 	figure := fs.Int("figure", 0, "print only this figure (2, 3, 5, 6, 7)")
+	withMetrics := fs.Bool("metrics", false, "instrument the scan and append a METRICS section")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,6 +105,10 @@ func run(args []string) error {
 	cfg.Scale = *scale
 	cfg.Workers = *workers
 	cfg.DriveShortenerTraffic = false // the crawl already drove it
+	if *withMetrics {
+		cfg.Metrics = obs.NewRegistry()
+		cfg.Tracer = obs.NewTracer()
+	}
 	st, err := core.NewStudy(cfg)
 	if err != nil {
 		return err
@@ -139,6 +145,9 @@ func run(args []string) error {
 	}
 	if !printed {
 		return fmt.Errorf("nothing matches -table %d -figure %d", *table, *figure)
+	}
+	if *withMetrics {
+		fmt.Println(report.MetricsReport(obs.NewExport(cfg.Metrics, cfg.Tracer)))
 	}
 	return nil
 }

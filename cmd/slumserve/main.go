@@ -9,18 +9,25 @@
 //
 // It prints a directory of interesting hosts (one malicious site per
 // category) before serving.
+//
+// The server also exposes a debug surface on the same listener:
+// /debug/metrics serves the live observability registry (text, or JSON
+// with ?format=json) and /debug/pprof/ serves the standard Go profiler
+// endpoints. Host-header routing handles every other path.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/httpsim"
+	"repro/internal/obs"
 	"repro/internal/web"
 )
 
@@ -73,21 +80,51 @@ func run(args []string) error {
 		}
 		fmt.Printf("  %-20s %s\n", kind.String()+":", sites[0].EntryURL)
 	}
+	// The debug surface shares the listener with the universe: /debug/*
+	// paths are claimed by the metrics and pprof handlers, everything else
+	// routes by Host header into the simulated internet. No simulated site
+	// serves under /debug, so nothing is shadowed.
+	registry := obs.NewRegistry()
+	tracer := obs.NewTracer()
+
 	// Fault injection wraps the simulated internet before the HTTP
 	// adapter, so real clients feel the same failures the crawler does:
 	// aborted connections for resets/timeouts, short bodies under a full
 	// Content-Length for truncation, genuine 503s and 302 loops.
 	var transport httpsim.RoundTripper = st.Universe.Internet
 	if !profile.Zero() {
-		transport = httpsim.NewFaultInjector(transport, profile, *seed)
+		fi := httpsim.NewFaultInjector(transport, profile, *seed)
+		fi.Metrics = registry
+		transport = fi
 		fmt.Printf("\nfault injection active: profile %q\n", profile.Name)
 	}
+
 	fmt.Printf("\nlistening on %s (route with the Host header)\n", *addr)
+	fmt.Printf("debug endpoints: http://%s/debug/metrics  http://%s/debug/pprof/\n", *addr, *addr)
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpsim.AsHTTPHandler(transport),
+		Handler:           serveHandler(transport, registry, tracer),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	return srv.ListenAndServe()
+}
+
+// serveHandler assembles the server's routing: the debug surface under
+// /debug/*, everything else Host-routed into the simulated universe with
+// a request counter in front.
+func serveHandler(transport httpsim.RoundTripper, registry *obs.Registry, tracer *obs.Tracer) http.Handler {
+	universeHandler := httpsim.AsHTTPHandler(transport)
+	mux := http.NewServeMux()
+	mux.Handle("/debug/metrics", obs.Handler(registry, tracer))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		registry.Counter("serve.requests").Inc()
+		universeHandler.ServeHTTP(w, r)
+	})
+	return mux
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/httpsim"
+	"repro/internal/obs"
 )
 
 // TestServeHandler mounts the universe the way slumserve does and drives
@@ -62,6 +64,89 @@ func TestServeHandler(t *testing.T) {
 	code, _ = get("no-such-host.sim", "/")
 	if code != http.StatusBadGateway {
 		t.Fatalf("unknown host code = %d, want 502", code)
+	}
+}
+
+// TestDebugEndpoints drives the assembled server handler: /debug/metrics
+// must serve the live registry in text and JSON, /debug/pprof/ must
+// answer, and universe requests must still route by Host header while
+// bumping the request counter.
+func TestDebugEndpoints(t *testing.T) {
+	cfg := core.DefaultStudyConfig()
+	cfg.Seed = 2
+	cfg.Scale = 900
+	cfg.DriveShortenerTraffic = false
+	st, err := core.NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	registry := obs.NewRegistry()
+	tracer := obs.NewTracer()
+	srv := httptest.NewServer(serveHandler(st.Universe.Internet, registry, tracer))
+	defer srv.Close()
+
+	get := func(host, path string) (int, string) {
+		req, err := http.NewRequest("GET", srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if host != "" {
+			req.Host = host
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	// A universe request routes by Host and increments the counter.
+	exHost := st.Exchanges[0].Config().Host
+	if code, _ := get(exHost, "/"); code != 200 {
+		t.Fatalf("exchange homepage through serveHandler: code=%d", code)
+	}
+	if n := registry.Counter("serve.requests").Value(); n != 1 {
+		t.Fatalf("serve.requests = %d after one universe request, want 1", n)
+	}
+
+	// The metrics endpoint reflects that count, in text and JSON.
+	code, body := get("", "/debug/metrics")
+	if code != 200 || !strings.Contains(body, "serve.requests") {
+		t.Fatalf("/debug/metrics: code=%d body=%q", code, body[:min(len(body), 120)])
+	}
+	code, body = get("", "/debug/metrics?format=json")
+	if code != 200 {
+		t.Fatalf("/debug/metrics?format=json: code=%d", code)
+	}
+	var export struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(body), &export); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	found := false
+	for _, c := range export.Counters {
+		if c.Name == "serve.requests" && c.Value >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("serve.requests missing from JSON export: %+v", export.Counters)
+	}
+
+	// Debug requests must not count as universe traffic.
+	if n := registry.Counter("serve.requests").Value(); n != 1 {
+		t.Fatalf("serve.requests = %d after debug requests, want still 1", n)
+	}
+
+	// pprof index answers.
+	if code, body := get("", "/debug/pprof/"); code != 200 || !strings.Contains(body, "profile") {
+		t.Fatalf("/debug/pprof/: code=%d", code)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/crawler"
 	"repro/internal/exchange"
 	"repro/internal/htmlparse"
+	"repro/internal/obs"
 	"repro/internal/shortener"
 	"repro/internal/stats"
 	"repro/internal/urlutil"
@@ -155,6 +156,12 @@ type Analyzer struct {
 	// every record through the full detector stack (the pre-cache
 	// behaviour; useful for ablations and benchmarks).
 	DisableCache bool
+	// Metrics, when set, receives pipeline counters (records by class,
+	// cache traffic, inspections) and worker-occupancy gauges; Tracer
+	// receives per-exchange classify/scan/parse/aggregate stage timings.
+	// Both are nil-safe no-ops when unset and never alter any output.
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
 }
 
 // Analyze processes all crawls into the full Analysis. Detection runs in
@@ -163,6 +170,8 @@ type Analyzer struct {
 // sequential pass over the records, in input order.
 func (an *Analyzer) Analyze(crawls []*crawler.Crawl) *Analysis {
 	outcomes, cstats := an.scanRecords(crawls)
+	an.Metrics.Counter("pipeline.cache.hits").Add(int64(cstats.Hits))
+	an.Metrics.Counter("pipeline.cache.misses").Add(int64(cstats.Misses))
 
 	out := &Analysis{
 		CategoryCounts:    stats.NewCounter(),
@@ -179,6 +188,7 @@ func (an *Analyzer) Analyze(crawls []*crawler.Crawl) *Analysis {
 	shortSet := map[string]bool{}
 
 	for ci, c := range crawls {
+		agg := an.Tracer.Start(c.Exchange, obs.StageAggregate)
 		row := ExchangeStats{Name: c.Exchange, Kind: c.Kind}
 		health := ExchangeHealth{Name: c.Exchange}
 		exKinds := map[string]int{}
@@ -218,10 +228,11 @@ func (an *Analyzer) Analyze(crawls []*crawler.Crawl) *Analysis {
 				}
 				if v.Malicious {
 					row.Malicious++
+					an.Metrics.Counter("pipeline.malicious").Inc()
 					if d := urlutil.DomainOf(rec.EntryURL); d != "" {
 						exMalDomains[d] = true
 					}
-					an.recordMalicious(out, rec, v, shortSet)
+					an.recordMalicious(out, c.Exchange, rec, v, shortSet)
 				}
 			}
 			verdicts = append(verdicts, v)
@@ -241,6 +252,7 @@ func (an *Analyzer) Analyze(crawls []*crawler.Crawl) *Analysis {
 		out.TotalCrawled += row.Crawled
 		out.TotalRegular += row.Regular
 		out.TotalMalicious += row.Malicious
+		agg.End()
 	}
 
 	out.TotalDistinct = len(urlutil.Dedupe(allURLs))
@@ -250,8 +262,9 @@ func (an *Analyzer) Analyze(crawls []*crawler.Crawl) *Analysis {
 }
 
 // recordMalicious folds one malicious URL into the category/TLD/content
-// aggregates.
-func (an *Analyzer) recordMalicious(out *Analysis, rec crawler.Record, v Verdict, shortSet map[string]bool) {
+// aggregates. scope names the exchange for the parse-stage tracer span
+// around the content-categorization HTML parse.
+func (an *Analyzer) recordMalicious(out *Analysis, scope string, rec crawler.Record, v Verdict, shortSet map[string]bool) {
 	if v.Category == CatMisc {
 		out.MiscCount++
 	} else {
@@ -260,7 +273,9 @@ func (an *Analyzer) recordMalicious(out *Analysis, rec crawler.Record, v Verdict
 	if tld := urlutil.TLDOf(rec.EntryURL); tld != "" {
 		out.TLDCounts.Add(normalizeTLD(tld))
 	}
+	parse := an.Tracer.Start(scope, obs.StageParse)
 	out.ContentCategories.Add(contentCategoryOf(rec.Body))
+	parse.End()
 	if rec.Redirects > 0 {
 		out.RedirectHist.Observe(rec.Redirects)
 	}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/crawler"
+	"repro/internal/obs"
 )
 
 // CacheStats summarizes verdict-cache effectiveness for one Analyze call.
@@ -97,9 +98,13 @@ func (an *Analyzer) cacheable(rec *crawler.Record) bool {
 }
 
 // inspect runs the detector over one regular record, through the cache
-// when one is active and the record is eligible.
+// when one is active and the record is eligible. pipeline.inspections
+// counts actual detector-stack executions (not cache reuses): under the
+// single-flight cache that is once per distinct key, so the counter stays
+// deterministic across worker counts.
 func (an *Analyzer) inspect(cache *VerdictCache, rec *crawler.Record) Verdict {
 	if cache == nil || !an.cacheable(rec) {
+		an.Metrics.Counter("pipeline.inspections").Inc()
 		return an.Detector.Inspect(*rec)
 	}
 	e, hit := cache.entry(verdictKey(rec))
@@ -110,7 +115,10 @@ func (an *Analyzer) inspect(cache *VerdictCache, rec *crawler.Record) Verdict {
 	}
 	// Single flight: concurrent requesters of the same key block here
 	// until the first finishes, then share its verdict.
-	e.once.Do(func() { e.v = an.Detector.Inspect(*rec) })
+	e.once.Do(func() {
+		an.Metrics.Counter("pipeline.inspections").Inc()
+		e.v = an.Detector.Inspect(*rec)
+	})
 	return e.v
 }
 
@@ -121,11 +129,16 @@ type recOutcome struct {
 }
 
 // scanOne classifies one record and, for regular referrals, runs the
-// detector stack.
-func (an *Analyzer) scanOne(cache *VerdictCache, rec *crawler.Record) recOutcome {
+// detector stack. exchangeName scopes the stage-tracer spans.
+func (an *Analyzer) scanOne(cache *VerdictCache, exchangeName string, rec *crawler.Record) recOutcome {
+	span := an.Tracer.Start(exchangeName, obs.StageClassify)
 	o := recOutcome{class: an.Classifier.Classify(*rec)}
+	span.End()
+	an.Metrics.Counter("pipeline.classified." + o.class.String()).Inc()
 	if o.class == Regular {
+		scan := an.Tracer.Start(exchangeName, obs.StageScan)
 		o.v = an.inspect(cache, rec)
+		scan.End()
 	}
 	return o
 }
@@ -156,10 +169,17 @@ func (an *Analyzer) scanRecords(crawls []*crawler.Crawl) ([][]recOutcome, CacheS
 		workers = total
 	}
 
+	an.Metrics.Counter("pipeline.records").Add(int64(total))
+	an.Metrics.Gauge("pipeline.workers.configured").Set(int64(workers))
+	// busy/peak are timing-dependent (occupancy depends on scheduling) and
+	// are never asserted exactly; see the obs package determinism contract.
+	busy := an.Metrics.Gauge("pipeline.workers.busy")
+	peak := an.Metrics.Gauge("pipeline.workers.peak")
+
 	if workers <= 1 {
 		for ci, c := range crawls {
 			for ri := range c.Records {
-				outcomes[ci][ri] = an.scanOne(cache, &c.Records[ri])
+				outcomes[ci][ri] = an.scanOne(cache, c.Exchange, &c.Records[ri])
 			}
 		}
 	} else {
@@ -171,7 +191,10 @@ func (an *Analyzer) scanRecords(crawls []*crawler.Crawl) ([][]recOutcome, CacheS
 			go func() {
 				defer wg.Done()
 				for j := range jobs {
-					outcomes[j.ci][j.ri] = an.scanOne(cache, &crawls[j.ci].Records[j.ri])
+					busy.Add(1)
+					peak.SetMax(busy.Value())
+					outcomes[j.ci][j.ri] = an.scanOne(cache, crawls[j.ci].Exchange, &crawls[j.ci].Records[j.ri])
+					busy.Add(-1)
 				}
 			}()
 		}

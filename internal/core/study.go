@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/crawler"
 	"repro/internal/exchange"
 	"repro/internal/httpsim"
+	"repro/internal/obs"
 	"repro/internal/simrand"
 	"repro/internal/web"
 )
@@ -42,6 +44,12 @@ type StudyConfig struct {
 	// Retries bounds the crawler's per-URL re-fetch attempts after
 	// retryable failures.
 	Retries int
+	// Metrics and Tracer, when set, receive the observability stream from
+	// every layer of the run (crawler, pipeline, scanner, fault injector,
+	// study-level phase timings). Nil (the default) disables all
+	// instrumentation; study output is byte-identical either way.
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
 }
 
 // DefaultStudyConfig returns the standard calibration.
@@ -133,7 +141,10 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 		Detector:     st.Detector,
 		Workers:      cfg.Workers,
 		DisableCache: cfg.DisableVerdictCache,
+		Metrics:      cfg.Metrics,
+		Tracer:       cfg.Tracer,
 	}
+	st.Detector.Multi.Metrics = cfg.Metrics
 	return st, nil
 }
 
@@ -160,16 +171,32 @@ func (st *Study) Run() error {
 	if prof, ok := httpsim.ProfileByName(st.Config.FaultProfile); ok && !prof.Zero() {
 		// Seed offset keeps the fault stream independent of the universe
 		// and detector streams derived from the same study seed.
-		transport = httpsim.NewFaultInjector(transport, prof, st.Config.Seed+0x5eed)
+		fi := httpsim.NewFaultInjector(transport, prof, st.Config.Seed+0x5eed)
+		fi.Metrics = st.Config.Metrics
+		transport = fi
 	}
 	opts := crawler.DefaultOptions(0)
 	opts.Retries = st.Config.Retries
+	opts.Metrics = st.Config.Metrics
+	opts.Tracer = st.Config.Tracer
+
+	crawlStart := time.Now()
 	crawls, err := crawler.CrawlAll(st.Exchanges, transport, st.Steps, opts)
 	if err != nil {
 		return fmt.Errorf("core: crawl: %w", err)
 	}
+	crawlWall := time.Since(crawlStart)
+	st.Config.Metrics.Histogram("study.crawl_seconds").Observe(crawlWall.Seconds())
 	st.Crawls = crawls
+
+	analyzeStart := time.Now()
 	st.Analysis = st.Analyzer.Analyze(crawls)
+	st.Config.Metrics.Histogram("study.analyze_seconds").Observe(time.Since(analyzeStart).Seconds())
+	// Crawl throughput in whole URLs/sec of wall time — a gauge, and like
+	// all gauges timing-dependent (never asserted exactly).
+	if secs := crawlWall.Seconds(); secs > 0 && st.Config.Metrics != nil {
+		st.Config.Metrics.Gauge("study.crawl_urls_per_sec").Set(int64(float64(st.Analysis.TotalCrawled) / secs))
+	}
 	return nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"repro/internal/exchange"
 	"repro/internal/har"
 	"repro/internal/httpsim"
+	"repro/internal/obs"
 	"repro/internal/web"
 )
 
@@ -99,6 +100,12 @@ type Options struct {
 	// hops) may accumulate — the per-request deadline. Zero means 15s;
 	// negative disables the deadline.
 	FetchBudget time.Duration
+	// Metrics, when set, receives crawl counters (urls surfed, fetch
+	// attempts, retries by fault class, failures by kind); Tracer receives
+	// per-exchange fetch-stage timings. Both are nil-safe no-ops when
+	// unset and never alter crawl output.
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
 }
 
 // DefaultOptions returns crawl options with bodies and HAR enabled, two
@@ -245,10 +252,13 @@ func CrawlExchange(ex *exchange.Exchange, transport httpsim.RoundTripper, opts O
 		// Fetch with bounded retry. A failure here is always isolated to
 		// this URL: the surf session continues, the failure is recorded,
 		// and the step's credit is still claimed below.
+		opts.Metrics.Counter("crawl.urls").Inc()
+		fetchSpan := opts.Tracer.Start(out.Exchange, obs.StageFetch)
 		var res *httpsim.Result
 		var ferr error
 		attempt := 1
 		for {
+			opts.Metrics.Counter("crawl.fetch_attempts").Inc()
 			res, ferr = client.Do(step.URL, BrowserUA, ex.HomeURL(), attempt)
 			if ferr == nil && res.Final != nil && transient5xx(res.Final.StatusCode) {
 				ferr = fmt.Errorf("%w: http %d from %s", errTransient5xx,
@@ -257,14 +267,17 @@ func CrawlExchange(ex *exchange.Exchange, transport httpsim.RoundTripper, opts O
 			if ferr == nil || attempt > opts.Retries || !retryable(ferr) {
 				break
 			}
+			opts.Metrics.Counter("crawl.retries." + errKind(ferr)).Inc()
 			clock = clock.Add(retryDelay(opts.RetryBackoff, step.URL, attempt))
 			attempt++
 		}
+		fetchSpan.End()
 		rec.Attempts = attempt
 
 		if ferr != nil {
 			rec.FetchErr = ferr.Error()
 			rec.ErrKind = errKind(ferr)
+			opts.Metrics.Counter("crawl.failed." + rec.ErrKind).Inc()
 			rec.FinalURL = step.URL
 			// Keep whatever the partial chain established (forensics and
 			// the crawl-health section), but never a body: partial or
@@ -282,6 +295,7 @@ func CrawlExchange(ex *exchange.Exchange, transport httpsim.RoundTripper, opts O
 				}
 			}
 		} else {
+			opts.Metrics.Counter("crawl.fetched").Inc()
 			rec.FinalURL = res.FinalURL
 			rec.Redirects = res.Redirects()
 			rec.Status = res.Final.StatusCode

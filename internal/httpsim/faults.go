@@ -6,6 +6,8 @@ import (
 	"hash/fnv"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // This file implements the fault-injection layer: a RoundTripper decorator
@@ -183,6 +185,11 @@ type FaultInjector struct {
 	// SlowPenalty is the extra virtual latency a slow fault adds
 	// (default 30s — enough to bust any sane fetch budget).
 	SlowPenalty time.Duration
+	// Metrics, when set, mirrors the injection counters live into an obs
+	// registry (httpsim.requests, httpsim.faults.<kind>) so long-running
+	// servers can watch fault pressure without polling InjectedCounts.
+	// Nil-safe no-op; never consulted by the decision path.
+	Metrics *obs.Registry
 
 	counts [numFaultKinds]atomic.Int64
 	total  atomic.Int64
@@ -211,6 +218,13 @@ func (f *FaultInjector) InjectedCounts() map[string]int64 {
 // Requests returns the total request count seen (faulted or not).
 func (f *FaultInjector) Requests() int64 { return f.total.Load() }
 
+// record counts one injected fault, both internally and in the mirror
+// registry when one is attached.
+func (f *FaultInjector) record(kind FaultKind) {
+	f.counts[kind].Add(1)
+	f.Metrics.Counter("httpsim.faults." + kind.String()).Inc()
+}
+
 // RoundTrip injects the profile's faults around the inner transport.
 // Connection-level faults (reset, timeout) and synthetic responses (5xx,
 // redirect loop) never reach the inner transport — the "server" is
@@ -218,6 +232,7 @@ func (f *FaultInjector) Requests() int64 { return f.total.Load() }
 // inner response.
 func (f *FaultInjector) RoundTrip(req *Request) (*Response, error) {
 	f.total.Add(1)
+	f.Metrics.Counter("httpsim.requests").Inc()
 	kind, faulted := f.Profile.pick(f.Seed, req.URL, req.Attempt)
 	if !faulted {
 		return f.Inner.RoundTrip(req)
@@ -225,13 +240,13 @@ func (f *FaultInjector) RoundTrip(req *Request) (*Response, error) {
 
 	switch kind {
 	case FaultConnReset:
-		f.counts[kind].Add(1)
+		f.record(kind)
 		return nil, fmt.Errorf("%w: %s", ErrConnReset, req.URL)
 	case FaultTimeout:
-		f.counts[kind].Add(1)
+		f.record(kind)
 		return nil, fmt.Errorf("%w: %s", ErrTimeout, req.URL)
 	case FaultTransient5xx:
-		f.counts[kind].Add(1)
+		f.record(kind)
 		return &Response{
 			StatusCode:  503,
 			ContentType: "text/html",
@@ -243,7 +258,7 @@ func (f *FaultInjector) RoundTrip(req *Request) (*Response, error) {
 		// A 302 pointing back at the request URL: the Client's visited-set
 		// detects the loop on the next hop, exactly as it would against a
 		// real misbehaving redirector.
-		f.counts[kind].Add(1)
+		f.record(kind)
 		return &Response{
 			StatusCode:  302,
 			ContentType: "text/html",
@@ -263,14 +278,14 @@ func (f *FaultInjector) RoundTrip(req *Request) (*Response, error) {
 		if len(out.Body) < 2 {
 			// Nothing to truncate (redirect hop, empty page): degrade to a
 			// reset so the fault still bites deterministically.
-			f.counts[FaultConnReset].Add(1)
+			f.record(FaultConnReset)
 			return nil, fmt.Errorf("%w: %s", ErrConnReset, req.URL)
 		}
-		f.counts[kind].Add(1)
+		f.record(kind)
 		out.DeclaredLength = len(out.Body)
 		out.Body = out.Body[:len(out.Body)/2]
 	case FaultSlow:
-		f.counts[kind].Add(1)
+		f.record(kind)
 		penalty := f.SlowPenalty
 		if penalty <= 0 {
 			penalty = 30 * time.Second

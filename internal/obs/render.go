@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Export is the machine-readable METRICS payload: a registry snapshot
+// plus the tracer's stage-latency table.
+type Export struct {
+	Snapshot
+	Stages []StageRow `json:"stages,omitempty"`
+}
+
+// NewExport snapshots a registry and tracer (either may be nil).
+func NewExport(r *Registry, t *Tracer) *Export {
+	return &Export{Snapshot: r.Snapshot(), Stages: t.Table()}
+}
+
+// WriteText renders the export as the plain-text METRICS section:
+// counters (the deterministic section) first, then gauges, histograms,
+// the per-scope stage-latency table, and the runtime sample.
+func (e *Export) WriteText(w io.Writer) {
+	if len(e.Counters) > 0 {
+		fmt.Fprintln(w, "counters (deterministic):")
+		width := 0
+		for _, m := range e.Counters {
+			if len(m.Name) > width {
+				width = len(m.Name)
+			}
+		}
+		for _, m := range e.Counters {
+			fmt.Fprintf(w, "  %-*s %d\n", width, m.Name, m.Value)
+		}
+	}
+	if len(e.Gauges) > 0 {
+		fmt.Fprintln(w, "gauges:")
+		width := 0
+		for _, m := range e.Gauges {
+			if len(m.Name) > width {
+				width = len(m.Name)
+			}
+		}
+		for _, m := range e.Gauges {
+			fmt.Fprintf(w, "  %-*s %d\n", width, m.Name, m.Value)
+		}
+	}
+	if len(e.Histograms) > 0 {
+		fmt.Fprintln(w, "histograms (timing-dependent):")
+		for _, h := range e.Histograms {
+			fmt.Fprintf(w, "  %s n=%d total=%s mean=%s p50=%s p95=%s p99=%s\n",
+				h.Name, h.Count, secs(h.Sum), secs(h.Mean), secs(h.P50), secs(h.P95), secs(h.P99))
+		}
+	}
+	if len(e.Stages) > 0 {
+		fmt.Fprintln(w, "stage latency (per scope; counts deterministic, timings not):")
+		scopeW, stageW := 0, 0
+		for _, r := range e.Stages {
+			if len(r.Scope) > scopeW {
+				scopeW = len(r.Scope)
+			}
+			if len(r.Stage) > stageW {
+				stageW = len(string(r.Stage))
+			}
+		}
+		for _, r := range e.Stages {
+			fmt.Fprintf(w, "  %-*s %-*s n=%-8d total=%-10s mean=%-10s p50=%-10s p95=%-10s p99=%s\n",
+				scopeW, r.Scope, stageW, r.Stage, r.Count,
+				secs(r.TotalSeconds), secs(r.MeanSeconds),
+				secs(r.P50Seconds), secs(r.P95Seconds), secs(r.P99Seconds))
+		}
+	}
+	fmt.Fprintf(w, "runtime: goroutines=%d heap=%dB objects=%d gc=%d\n",
+		e.Runtime.Goroutines, e.Runtime.HeapAllocBytes, e.Runtime.HeapObjects, e.Runtime.NumGC)
+}
+
+// Text renders the export as a string.
+func (e *Export) Text() string {
+	var b strings.Builder
+	e.WriteText(&b)
+	return b.String()
+}
+
+// secs formats a second count compactly via time.Duration's unit-aware
+// formatting, rounded to keep the table readable.
+func secs(s float64) string {
+	d := time.Duration(s * float64(time.Second))
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.String()
+	}
+}
+
+// Handler serves a live view of the registry and tracer: plain text by
+// default, JSON with ?format=json. Mount it at /debug/metrics.
+func Handler(r *Registry, t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		e := NewExport(r, t)
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(e)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		e.WriteText(w)
+	})
+}

@@ -1,0 +1,43 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestBarBoundaries table-tests the bar renderer at the clamp boundaries.
+// The NaN row is the regression case: before the fix, int(NaN*width+0.5)
+// produced an implementation-defined (hugely negative) count and
+// strings.Repeat panicked.
+func TestBarBoundaries(t *testing.T) {
+	const width = 10
+	for _, tc := range []struct {
+		name string
+		frac float64
+		fill int // expected number of '#'
+	}{
+		{"zero", 0, 0},
+		{"negative", -0.5, 0},
+		{"negative-inf", math.Inf(-1), 0},
+		{"half", 0.5, 5},
+		{"rounds-up", 0.96, 10},
+		{"one", 1, width},
+		{"ratio-above-one", 1.7, width},
+		{"positive-inf", math.Inf(1), width},
+		{"nan", math.NaN(), 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := bar(tc.frac, width)
+			if len(got) != width+2 {
+				t.Fatalf("bar(%v, %d) = %q: length %d, want %d", tc.frac, width, got, len(got), width+2)
+			}
+			if !strings.HasPrefix(got, "[") || !strings.HasSuffix(got, "]") {
+				t.Fatalf("bar(%v, %d) = %q: missing brackets", tc.frac, width, got)
+			}
+			if fill := strings.Count(got, "#"); fill != tc.fill {
+				t.Fatalf("bar(%v, %d) = %q: %d filled cells, want %d", tc.frac, width, got, fill, tc.fill)
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/shortener"
 	"repro/internal/stats"
 )
@@ -34,6 +35,10 @@ type JSONReport struct {
 	Figure6     []JSONShare      `json:"figure6"`
 	Figure7     []JSONShare      `json:"figure7"`
 	CrawlHealth *JSONCrawlHealth `json:"crawlHealth,omitempty"`
+	// Metrics carries the observability export when the run was
+	// instrumented (-metrics); absent otherwise, keeping default JSON
+	// output identical to uninstrumented runs.
+	Metrics *obs.Export `json:"metrics,omitempty"`
 }
 
 // JSONShortRow aliases the shortener hit statistics into the report schema.
@@ -175,7 +180,13 @@ func BuildJSON(a *core.Analysis, short []shortener.HitStats) *JSONReport {
 
 // WriteJSON emits the structured report.
 func WriteJSON(w io.Writer, a *core.Analysis, short []shortener.HitStats) error {
+	return EncodeJSON(w, BuildJSON(a, short))
+}
+
+// EncodeJSON emits an assembled JSONReport, letting callers attach
+// optional sections (e.g. Metrics) between BuildJSON and encoding.
+func EncodeJSON(w io.Writer, rep *JSONReport) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(BuildJSON(a, short))
+	return enc.Encode(rep)
 }

@@ -1,0 +1,14 @@
+package report
+
+import "repro/internal/obs"
+
+// MetricsReport renders an observability export as the report's METRICS
+// section. The section is strictly additive: commands print it after every
+// paper table and figure, only when -metrics is passed, so default report
+// output stays byte-identical with or without instrumentation. Counter
+// values are deterministic for a fixed (seed, scale, config); gauge,
+// histogram and stage-timing values are wall-clock measurements and vary
+// run to run (see the obs package determinism contract).
+func MetricsReport(e *obs.Export) string {
+	return "METRICS: PIPELINE OBSERVABILITY\n" + e.Text()
+}

@@ -7,6 +7,7 @@ package report
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/core"
@@ -267,8 +268,12 @@ func shareChart(title string, c *stats.Counter, topK int) string {
 	return b.String()
 }
 
+// bar renders a width-character bar for a fraction, clamped to [0, 1].
+// Callers occasionally hand it count ratios rather than shares (which can
+// exceed 1.0) and degenerate divisions (NaN from 0/0); neither may ever
+// overflow the bar or panic strings.Repeat with a negative count.
 func bar(frac float64, width int) string {
-	if frac < 0 {
+	if math.IsNaN(frac) || frac < 0 {
 		frac = 0
 	}
 	if frac > 1 {

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/httpsim"
+	"repro/internal/obs"
 	"repro/internal/simrand"
 	"repro/internal/urlutil"
 )
@@ -99,6 +100,11 @@ type MultiEngine struct {
 	Fetcher httpsim.RoundTripper
 	// BotUserAgent is the UA ScanURL fetches with.
 	BotUserAgent string
+	// Metrics, when set, counts scan traffic (scanner.scans.file,
+	// scanner.scans.url, scanner.fetches). A URL scan that fetched content
+	// delegates to ScanFile and therefore also appears in the file count.
+	// Nil-safe no-op when unset; never alters any verdict.
+	Metrics *obs.Registry
 
 	// allTokens/allDomains index the union of every engine's signatures,
 	// so a scan walks the body once and engines only do set-membership
@@ -186,6 +192,7 @@ func (m *MultiEngine) matchBody(content []byte) (matched []string, analytics boo
 // once against the union signature index; each engine then answers from
 // its own signature subset by map lookup.
 func (m *MultiEngine) ScanFile(url string, content []byte) Report {
+	m.Metrics.Counter("scanner.scans.file").Inc()
 	rep := Report{Resource: url, Total: len(m.Engines)}
 	labels := map[string]bool{}
 
@@ -231,12 +238,14 @@ func (m *MultiEngine) ScanFile(url string, content []byte) Report {
 // serve clean pages to that UA, which is precisely how they evade this
 // path (footnote 1 of the paper).
 func (m *MultiEngine) ScanURL(url string) Report {
+	m.Metrics.Counter("scanner.scans.url").Inc()
 	var content []byte
 	if m.Fetcher != nil {
 		ua := m.BotUserAgent
 		if ua == "" {
 			ua = "VirusTotalBot/1.0"
 		}
+		m.Metrics.Counter("scanner.fetches").Inc()
 		// Truncated downloads are discarded: half a page must never be
 		// scanned as if it were the page (the engines would hash and
 		// signature-match the wrong content).

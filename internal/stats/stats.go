@@ -79,18 +79,31 @@ func (c *Counter) shareOf(v int) float64 {
 }
 
 // TopK returns the k highest-count items; the remainder, if any, is folded
-// into a synthetic "Others" item (as Figures 6 and 7 do).
+// into a synthetic "Others" item (as Figures 6 and 7 do). A real key named
+// "Others" (a legitimate content category) is merged into the fold-in item
+// rather than reported alongside it, so no share is ever double-counted
+// under a duplicated label.
 func (c *Counter) TopK(k int) []Item {
+	if k < 0 {
+		k = 0
+	}
 	items := c.Items()
 	if len(items) <= k {
 		return items
 	}
-	top := items[:k:k]
 	rest := 0
 	for _, it := range items[k:] {
 		rest += it.Count
 	}
-	return append(top, Item{Key: "Others", Count: rest, Share: c.shareOf(rest)})
+	out := make([]Item, 0, k+1)
+	for _, it := range items[:k] {
+		if it.Key == "Others" {
+			rest += it.Count
+			continue
+		}
+		out = append(out, it)
+	}
+	return append(out, Item{Key: "Others", Count: rest, Share: c.shareOf(rest)})
 }
 
 // IntHist is a histogram over small non-negative integers (e.g. redirect
@@ -225,8 +238,11 @@ type Burst struct {
 
 // Bursts scans the series with a sliding window and returns maximal runs
 // of consecutive windows whose hit rate is at least factor times the
-// overall rate (and at least 0.5 absolute). A smooth near-linear series —
-// the auto-surf signature — yields no bursts.
+// overall rate (and at least 0.5 absolute). The final window may be a
+// partial one (fewer than window observations): a campaign burst ending
+// at the last observation is examined like any other instead of being
+// silently dropped. A smooth near-linear series — the auto-surf signature
+// — yields no bursts.
 func (s *Series) Bursts(window int, factor float64) []Burst {
 	n := len(s.cum)
 	if n == 0 || window <= 0 || window > n {
@@ -240,9 +256,13 @@ func (s *Series) Bursts(window int, factor float64) []Burst {
 	var bursts []Burst
 	inBurst := false
 	var start int
-	for i := 0; i+window <= n; i += window {
-		hits := s.cum[i+window-1] - prevCum(s.cum, i)
-		rate := float64(hits) / float64(window)
+	for i := 0; i < n; i += window {
+		end := i + window
+		if end > n {
+			end = n // trailing partial window
+		}
+		hits := s.cum[end-1] - prevCum(s.cum, i)
+		rate := float64(hits) / float64(end-i)
 		if rate >= threshold {
 			if !inBurst {
 				inBurst = true
@@ -254,11 +274,7 @@ func (s *Series) Bursts(window int, factor float64) []Burst {
 		}
 	}
 	if inBurst {
-		end := (n / window) * window
-		if end == start {
-			end = n
-		}
-		bursts = append(bursts, s.makeBurst(start, end))
+		bursts = append(bursts, s.makeBurst(start, n))
 	}
 	return bursts
 }
