@@ -403,6 +403,41 @@ func BenchmarkAblationNesting(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamingStudy measures the bounded-memory streaming pipeline
+// end to end as the crawl grows (scale 20 ≈ 50k URLs up to scale 5 ≈
+// 200k URLs). The custom alloc-B/record metric is the regression guard
+// for the streaming memory model: it must stay roughly flat as the
+// record count quadruples — allocation proportional to the stream, with
+// no O(total-URLs) resident set. Compare with the batch path, whose
+// per-record cost grows with retained records, HAR logs and verdicts.
+func BenchmarkStreamingStudy(b *testing.B) {
+	for _, scale := range []int{20, 10, 5} {
+		b.Run(fmt.Sprintf("scale-%d", scale), func(b *testing.B) {
+			cfg := core.DefaultStudyConfig()
+			cfg.Scale = scale
+			cfg.DriveShortenerTraffic = false
+			b.ReportAllocs()
+			records := 0
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i) + 1
+				st, err := core.RunStudyStream(cfg, core.StreamOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				records += st.Analysis.TotalCrawled
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&after)
+			b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/float64(records), "alloc-B/record")
+			b.ReportMetric(float64(records)/float64(b.N), "records/op")
+		})
+	}
+}
+
 // BenchmarkFullStudy measures the complete end-to-end reproduction
 // (universe + crawl + analysis) at bench scale.
 func BenchmarkFullStudy(b *testing.B) {

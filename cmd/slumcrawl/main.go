@@ -7,13 +7,24 @@
 // Usage:
 //
 //	slumcrawl [-seed N] [-scale N] [-faults PROFILE] [-retries N] [-metrics] -out dataset.jsonl [-hardir DIR]
+//	          [-stream] [-checkpoint FILE] [-resume] [-checkpoint-every N]
 //
 // -faults injects deterministic transport faults into the crawl; failed
 // fetches are persisted as records with fetchErr/errKind set, so slumscan
 // reports crawl health for the dataset.
+//
+// -stream writes records straight to per-exchange spill files as they are
+// crawled instead of accumulating the whole dataset in memory; on
+// completion the spills concatenate into -out, byte-identical to a batch
+// run's dataset. -checkpoint FILE (implies -stream) records per-exchange
+// progress every -checkpoint-every records; after a kill, rerunning with
+// -resume truncates the spills back to the checkpoint and continues. The
+// checkpoint is deleted on completion. -hardir requires the batch path
+// (HAR archives accumulate whole crawls by construction).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -44,10 +55,22 @@ func run(args []string) error {
 	out := fs.String("out", "dataset.jsonl", "output dataset path")
 	harDir := fs.String("hardir", "", "directory for per-exchange HAR archives (optional)")
 	withMetrics := fs.Bool("metrics", false, "instrument the crawl and print a METRICS section to stdout")
+	stream := fs.Bool("stream", false, "spill records to disk as they are crawled (bounded memory)")
+	ckptPath := fs.String("checkpoint", "", "checkpoint file; enables periodic checkpointing (implies -stream)")
+	resume := fs.Bool("resume", false, "resume from the -checkpoint file when it exists (implies -stream)")
+	ckptEvery := fs.Int("checkpoint-every", 5000, "records between checkpoint writes")
+	abortAfter := fs.Int("abort-after", 0, "testing: abort the streaming crawl after N written records, as a kill would")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	useStream := *stream || *ckptPath != "" || *abortAfter > 0
+	if *resume && *ckptPath == "" {
+		return fmt.Errorf("-resume requires -checkpoint FILE")
+	}
+	if useStream && *harDir != "" {
+		return fmt.Errorf("-hardir requires the batch path (drop -stream/-checkpoint)")
+	}
 	cfg := core.DefaultStudyConfig()
 	cfg.Seed = *seed
 	cfg.Scale = *scale
@@ -64,6 +87,32 @@ func run(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "crawling %d exchanges (seed=%d scale=%d)...\n",
 		len(st.Exchanges), cfg.Seed, cfg.Scale)
+
+	if useStream {
+		opts := core.DatasetStreamOptions{CheckpointPath: *ckptPath, CheckpointEvery: *ckptEvery, AbortAfter: *abortAfter}
+		if *resume {
+			ck, lerr := core.LoadCheckpoint(*ckptPath)
+			switch {
+			case lerr == nil:
+				fmt.Fprintf(os.Stderr, "resuming from %s (%d records already written)\n", *ckptPath, ck.Records())
+				opts.Resume = ck
+			case errors.Is(lerr, os.ErrNotExist):
+				// No checkpoint on disk: nothing to resume, start fresh.
+			default:
+				return lerr
+			}
+		}
+		res, err := st.StreamDataset(*out, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d records to %s (%d failed fetches)\n", res.Records, *out, res.Failed)
+		if *withMetrics {
+			fmt.Println(report.MetricsReport(obs.NewExport(cfg.Metrics, cfg.Tracer)))
+		}
+		return nil
+	}
+
 	if err := st.Run(); err != nil {
 		return err
 	}

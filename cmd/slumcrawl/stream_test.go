@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStreamDatasetMatchesBatchCLI runs the same crawl through the batch
+// and streaming paths: the dataset files must be byte-identical.
+func TestStreamDatasetMatchesBatchCLI(t *testing.T) {
+	dir := t.TempDir()
+	batchOut := filepath.Join(dir, "batch.jsonl")
+	streamOut := filepath.Join(dir, "stream.jsonl")
+	args := []string{"-scale", "900", "-seed", "4", "-faults", "flaky"}
+	if err := run(append(append([]string{}, args...), "-out", batchOut)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(append([]string{}, args...), "-out", streamOut, "-stream")); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(batchOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(streamOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("streamed dataset differs from batch (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestStreamDatasetKillResumeCLI kills a checkpointed streaming crawl
+// via -abort-after and resumes it; the final dataset must be
+// byte-identical to an uninterrupted run, with no leftover state.
+func TestStreamDatasetKillResumeCLI(t *testing.T) {
+	dir := t.TempDir()
+	refOut := filepath.Join(dir, "ref.jsonl")
+	out := filepath.Join(dir, "ds.jsonl")
+	ckpt := filepath.Join(dir, "crawl.ckpt")
+	args := []string{"-scale", "900", "-seed", "4", "-faults", "flaky"}
+	if err := run(append(append([]string{}, args...), "-out", refOut, "-stream")); err != nil {
+		t.Fatal(err)
+	}
+	resumeArgs := append(append([]string{}, args...), "-out", out, "-checkpoint", ckpt, "-checkpoint-every", "41", "-resume")
+	if err := run(append(append([]string{}, resumeArgs...), "-abort-after", "200")); err == nil {
+		t.Fatal("aborted crawl returned nil error")
+	}
+	if err := run(resumeArgs); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(refOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("resumed dataset differs from uninterrupted run (%d vs %d bytes)", len(got), len(want))
+	}
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Error("checkpoint not removed after completion")
+	}
+	if parts, _ := filepath.Glob(out + ".part*"); len(parts) != 0 {
+		t.Errorf("spill parts left behind: %v", parts)
+	}
+}
+
+// TestStreamRejectsHARDir pins the -stream/-hardir exclusivity.
+func TestStreamRejectsHARDir(t *testing.T) {
+	if err := run([]string{"-stream", "-hardir", t.TempDir()}); err == nil {
+		t.Fatal("-stream with -hardir accepted")
+	}
+}

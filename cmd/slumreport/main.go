@@ -5,6 +5,7 @@
 // Usage:
 //
 //	slumreport [-seed N] [-scale N] [-workers N] [-faults PROFILE] [-retries N] [-table N] [-figure N] [-metrics]
+//	           [-stream] [-checkpoint FILE] [-resume] [-checkpoint-every N]
 //
 // With no -table/-figure selection, everything is printed. -scale divides
 // the paper's crawl volumes (default 20: ~50k URLs, seconds of runtime;
@@ -18,9 +19,21 @@
 // counters, stage-latency table, runtime snapshot) after the report;
 // with -json the same export lands in a "metrics" block. Output without
 // the flag is byte-identical to an uninstrumented run.
+//
+// -stream runs the crawl and the analysis as one bounded-memory pipeline:
+// records flow from the crawler through the worker pool into incremental
+// aggregation, so peak memory no longer grows with the crawl length. The
+// report is byte-identical to the batch path's. -checkpoint FILE (implies
+// -stream) additionally persists the accumulator every -checkpoint-every
+// records; after a crash or kill, rerunning with -resume picks up from
+// the checkpoint and still produces the byte-identical report. The
+// checkpoint file is deleted when a run completes, so "-checkpoint f
+// -resume" is safe to use unconditionally: first run starts fresh,
+// interrupted reruns resume, completed runs leave nothing behind.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -51,6 +64,11 @@ func run(args []string, out io.Writer) error {
 	figure := fs.Int("figure", 0, "print only this figure (2, 3, 5, 6, 7)")
 	asJSON := fs.Bool("json", false, "emit every table and figure as JSON")
 	withMetrics := fs.Bool("metrics", false, "instrument the run and append a METRICS section")
+	stream := fs.Bool("stream", false, "run crawl+analysis as one bounded-memory streaming pipeline")
+	ckptPath := fs.String("checkpoint", "", "checkpoint file; enables periodic checkpointing (implies -stream)")
+	resume := fs.Bool("resume", false, "resume from the -checkpoint file when it exists (implies -stream)")
+	ckptEvery := fs.Int("checkpoint-every", 5000, "records between checkpoint writes")
+	abortAfter := fs.Int("abort-after", 0, "testing: abort the streaming run after N folded records, as a kill would")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,6 +76,10 @@ func run(args []string, out io.Writer) error {
 	if *scale <= 0 {
 		return fmt.Errorf("scale must be positive, got %d", *scale)
 	}
+	if *resume && *ckptPath == "" {
+		return fmt.Errorf("-resume requires -checkpoint FILE")
+	}
+	useStream := *stream || *ckptPath != "" || *abortAfter > 0
 	cfg := core.DefaultStudyConfig()
 	cfg.Seed = *seed
 	cfg.Scale = *scale
@@ -70,7 +92,26 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(os.Stderr, "running study: seed=%d scale=%d (~%d URLs)...\n",
 		cfg.Seed, cfg.Scale, 1003087/cfg.Scale)
-	st, err := core.RunStudy(cfg)
+	var st *core.Study
+	var err error
+	if useStream {
+		sopts := core.StreamOptions{CheckpointPath: *ckptPath, CheckpointEvery: *ckptEvery, AbortAfter: *abortAfter}
+		if *resume {
+			ck, lerr := core.LoadCheckpoint(*ckptPath)
+			switch {
+			case lerr == nil:
+				fmt.Fprintf(os.Stderr, "resuming from %s (%d records already folded)\n", *ckptPath, ck.Records())
+				sopts.Resume = ck
+			case errors.Is(lerr, os.ErrNotExist):
+				// No checkpoint on disk: nothing to resume, start fresh.
+			default:
+				return lerr
+			}
+		}
+		st, err = core.RunStudyStream(cfg, sopts)
+	} else {
+		st, err = core.RunStudy(cfg)
+	}
 	if err != nil {
 		return err
 	}

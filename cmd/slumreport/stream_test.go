@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenReportStreaming locks in the streaming pipeline's headline
+// guarantee at the CLI level: -stream emits the exact golden bytes the
+// batch path does, clean and faulty alike.
+func TestGoldenReportStreaming(t *testing.T) {
+	checkGolden(t, "report.golden", captureReport(t, "-stream"))
+	checkGolden(t, "report_faulty.golden", captureReport(t, "-faults", "hostile", "-stream"))
+}
+
+// TestGoldenReportKillResume kills a checkpointed streaming run partway
+// (the -abort-after testing hook stands in for SIGKILL: the run stops
+// with only the last periodic checkpoint on disk) and resumes it; the
+// resumed report must be byte-identical to the golden file.
+func TestGoldenReportKillResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "report.ckpt")
+	args := []string{"-checkpoint", ckpt, "-checkpoint-every", "97", "-resume"}
+	var buf bytes.Buffer
+	err := run(append(append(append([]string{}, goldenArgs...), args...), "-abort-after", "700"), &buf)
+	if err == nil {
+		t.Fatal("aborted run returned nil error")
+	}
+	checkGolden(t, "report.golden", captureReport(t, args...))
+}
+
+// TestStreamFlagValidation covers the flag plumbing edges.
+func TestStreamFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-resume"}, &buf); err == nil {
+		t.Error("-resume without -checkpoint accepted")
+	}
+	// -resume with a checkpoint path that does not exist is a fresh start.
+	ckpt := filepath.Join(t.TempDir(), "never-written.ckpt")
+	base := captureReport(t)
+	if got := captureReport(t, "-checkpoint", ckpt, "-resume"); !bytes.Equal(got, base) {
+		t.Error("-resume with no checkpoint on disk diverged from a fresh run")
+	}
+}

@@ -115,10 +115,14 @@ type Analysis struct {
 	// deduped, for the Table IV statistics join.
 	MaliciousShortURLs []string
 	// Verdicts holds the per-record verdicts, aligned with the input
-	// record stream per exchange.
+	// record stream per exchange. Populated by the batch Analyze path;
+	// streaming runs (Study.RunStream) leave it empty — retaining every
+	// verdict would defeat the bounded-memory contract.
 	Verdicts map[string][]Verdict
 	// CacheStats reports verdict-cache effectiveness for this run (zero
-	// when the cache was disabled). Deterministic across worker counts.
+	// when the cache was disabled). Deterministic across worker counts
+	// for an uninterrupted run; a resumed run reports only its own
+	// cache traffic, never the pre-checkpoint portion.
 	CacheStats CacheStats
 	// Health is the crawl-health accounting: failures, retries and the
 	// error taxonomy. Always populated (all zeros for a clean crawl).
@@ -164,6 +168,168 @@ type Analyzer struct {
 	Tracer  *obs.Tracer
 }
 
+// exchangeFold is one exchange's in-flight aggregation state: everything
+// the fold accumulates for a single exchange, in record order.
+type exchangeFold struct {
+	name   string
+	kind   exchange.Kind
+	row    ExchangeStats
+	health ExchangeHealth
+	kinds  map[string]int
+	series *stats.Series
+	// domains / malDomains back the Table II distinct-domain columns.
+	domains    map[string]bool
+	malDomains map[string]bool
+	// verdicts is retained only when the fold keeps verdicts (batch path).
+	verdicts []Verdict
+	// folded counts records folded so far — the exchange's streaming
+	// progress cursor (records [0, folded) are reflected in this state).
+	folded int
+}
+
+// foldState is the incremental aggregation accumulator shared by the
+// batch Analyze path and the streaming pipeline (stream.go). Records fold
+// one at a time, in per-exchange record order; cross-exchange interleaving
+// is free because every global aggregate (counters, histograms, sets,
+// sums) is commutative and rendered in sorted order. Peak memory is
+// O(distinct URLs + domains + series length), never O(bodies) — a folded
+// record's body is released as soon as fold returns.
+//
+// Not safe for concurrent use: exactly one goroutine owns a foldState.
+type foldState struct {
+	an        *Analyzer
+	exchanges []*exchangeFold
+	out       *Analysis
+	// distinct holds normalized entry URLs (the TotalDistinct set, with
+	// urlutil.Dedupe's normalize-or-raw keying).
+	distinct map[string]bool
+	// domainSet and shortSet back TotalDomains and MaliciousShortURLs.
+	domainSet    map[string]bool
+	shortSet     map[string]bool
+	keepVerdicts bool
+}
+
+// newFoldState builds an empty accumulator for the named exchanges, in
+// crawl order. keepVerdicts retains per-record verdicts (the batch
+// contract); streaming passes false to stay bounded.
+func newFoldState(an *Analyzer, names []string, kinds []exchange.Kind, keepVerdicts bool) *foldState {
+	fs := &foldState{
+		an: an,
+		out: &Analysis{
+			CategoryCounts:    stats.NewCounter(),
+			TLDCounts:         stats.NewCounter(),
+			ContentCategories: stats.NewCounter(),
+			RedirectHist:      stats.NewIntHist(),
+			Series:            make(map[string]*stats.Series),
+			Verdicts:          make(map[string][]Verdict),
+			Health:            &CrawlHealth{ErrorKinds: stats.NewCounter()},
+		},
+		distinct:     map[string]bool{},
+		domainSet:    map[string]bool{},
+		shortSet:     map[string]bool{},
+		keepVerdicts: keepVerdicts,
+	}
+	for i, name := range names {
+		fs.exchanges = append(fs.exchanges, &exchangeFold{
+			name:       name,
+			kind:       kinds[i],
+			row:        ExchangeStats{Name: name, Kind: kinds[i]},
+			health:     ExchangeHealth{Name: name},
+			kinds:      map[string]int{},
+			series:     stats.NewSeries(),
+			domains:    map[string]bool{},
+			malDomains: map[string]bool{},
+		})
+	}
+	return fs
+}
+
+// fold merges one record's outcome into the accumulator. Must be called
+// in record order within each exchange; calls for different exchanges may
+// interleave arbitrarily.
+func (fs *foldState) fold(ei int, rec *crawler.Record, o recOutcome) {
+	ef := fs.exchanges[ei]
+	ef.row.Crawled++
+	fs.distinct[distinctKey(rec.EntryURL)] = true
+	if rec.Attempts > 1 {
+		ef.health.Retries += rec.Attempts - 1
+	}
+
+	v := o.v
+	switch o.class {
+	case Self:
+		ef.row.Self++
+	case Popular:
+		ef.row.Popular++
+	case Failed:
+		ef.row.Failed++
+		ef.health.Failed++
+		kind := rec.ErrKind
+		if kind == "" {
+			kind = "transport"
+		}
+		ef.kinds[kind]++
+		fs.out.Health.ErrorKinds.Add(kind)
+	case Regular:
+		ef.row.Regular++
+		if d := urlutil.DomainOf(rec.EntryURL); d != "" {
+			ef.domains[d] = true
+			fs.domainSet[d] = true
+		}
+		if v.Malicious {
+			ef.row.Malicious++
+			fs.an.Metrics.Counter("pipeline.malicious").Inc()
+			if d := urlutil.DomainOf(rec.EntryURL); d != "" {
+				ef.malDomains[d] = true
+			}
+			fs.recordMalicious(ef.name, rec, v)
+		}
+	}
+	if fs.keepVerdicts {
+		ef.verdicts = append(ef.verdicts, v)
+	}
+	ef.series.Observe(v.Malicious)
+	ef.folded++
+}
+
+// finish assembles the final Analysis from the folded state, in exchange
+// order. The foldState must not be used after finish.
+func (fs *foldState) finish(cstats CacheStats) *Analysis {
+	out := fs.out
+	for _, ef := range fs.exchanges {
+		ef.row.Domains = len(ef.domains)
+		ef.row.MalwareDomains = len(ef.malDomains)
+		ef.health.Crawled = ef.row.Crawled
+		ef.health.Kinds = sortedKinds(ef.kinds)
+		out.PerExchange = append(out.PerExchange, ef.row)
+		out.Health.PerExchange = append(out.Health.PerExchange, ef.health)
+		out.Health.TotalFailed += ef.health.Failed
+		out.Health.TotalRetries += ef.health.Retries
+		out.Series[ef.name] = ef.series
+		if fs.keepVerdicts {
+			out.Verdicts[ef.name] = ef.verdicts
+		}
+		out.TotalCrawled += ef.row.Crawled
+		out.TotalRegular += ef.row.Regular
+		out.TotalMalicious += ef.row.Malicious
+	}
+	out.TotalDistinct = len(fs.distinct)
+	out.TotalDomains = len(fs.domainSet)
+	out.MaliciousShortURLs = sortedSet(fs.shortSet)
+	out.CacheStats = cstats
+	return out
+}
+
+// distinctKey mirrors urlutil.Dedupe's keying: the normalized URL, or the
+// raw string when normalization fails.
+func distinctKey(rawURL string) string {
+	key, err := urlutil.Normalize(rawURL)
+	if err != nil {
+		return rawURL
+	}
+	return key
+}
+
 // Analyze processes all crawls into the full Analysis. Detection runs in
 // parallel; everything order-sensitive — per-exchange verdict slices,
 // counters, series, aggregate folds — happens afterwards in a single
@@ -173,98 +339,27 @@ func (an *Analyzer) Analyze(crawls []*crawler.Crawl) *Analysis {
 	an.Metrics.Counter("pipeline.cache.hits").Add(int64(cstats.Hits))
 	an.Metrics.Counter("pipeline.cache.misses").Add(int64(cstats.Misses))
 
-	out := &Analysis{
-		CategoryCounts:    stats.NewCounter(),
-		TLDCounts:         stats.NewCounter(),
-		ContentCategories: stats.NewCounter(),
-		RedirectHist:      stats.NewIntHist(),
-		Series:            make(map[string]*stats.Series),
-		Verdicts:          make(map[string][]Verdict),
-		CacheStats:        cstats,
-		Health:            &CrawlHealth{ErrorKinds: stats.NewCounter()},
+	names := make([]string, len(crawls))
+	kinds := make([]exchange.Kind, len(crawls))
+	for i, c := range crawls {
+		names[i], kinds[i] = c.Exchange, c.Kind
 	}
-	var allURLs []string
-	domainSet := map[string]bool{}
-	shortSet := map[string]bool{}
-
+	fs := newFoldState(an, names, kinds, true)
 	for ci, c := range crawls {
 		agg := an.Tracer.Start(c.Exchange, obs.StageAggregate)
-		row := ExchangeStats{Name: c.Exchange, Kind: c.Kind}
-		health := ExchangeHealth{Name: c.Exchange}
-		exKinds := map[string]int{}
-		series := stats.NewSeries()
-		exDomains := map[string]bool{}
-		exMalDomains := map[string]bool{}
-		verdicts := make([]Verdict, 0, len(c.Records))
-
-		for ri, rec := range c.Records {
-			row.Crawled++
-			allURLs = append(allURLs, rec.EntryURL)
-			if rec.Attempts > 1 {
-				health.Retries += rec.Attempts - 1
-			}
-			o := outcomes[ci][ri]
-
-			v := o.v
-			switch o.class {
-			case Self:
-				row.Self++
-			case Popular:
-				row.Popular++
-			case Failed:
-				row.Failed++
-				health.Failed++
-				kind := rec.ErrKind
-				if kind == "" {
-					kind = "transport"
-				}
-				exKinds[kind]++
-				out.Health.ErrorKinds.Add(kind)
-			case Regular:
-				row.Regular++
-				if d := urlutil.DomainOf(rec.EntryURL); d != "" {
-					exDomains[d] = true
-					domainSet[d] = true
-				}
-				if v.Malicious {
-					row.Malicious++
-					an.Metrics.Counter("pipeline.malicious").Inc()
-					if d := urlutil.DomainOf(rec.EntryURL); d != "" {
-						exMalDomains[d] = true
-					}
-					an.recordMalicious(out, c.Exchange, rec, v, shortSet)
-				}
-			}
-			verdicts = append(verdicts, v)
-			series.Observe(v.Malicious)
+		for ri := range c.Records {
+			fs.fold(ci, &c.Records[ri], outcomes[ci][ri])
 		}
-
-		row.Domains = len(exDomains)
-		row.MalwareDomains = len(exMalDomains)
-		health.Crawled = row.Crawled
-		health.Kinds = sortedKinds(exKinds)
-		out.PerExchange = append(out.PerExchange, row)
-		out.Health.PerExchange = append(out.Health.PerExchange, health)
-		out.Health.TotalFailed += health.Failed
-		out.Health.TotalRetries += health.Retries
-		out.Series[c.Exchange] = series
-		out.Verdicts[c.Exchange] = verdicts
-		out.TotalCrawled += row.Crawled
-		out.TotalRegular += row.Regular
-		out.TotalMalicious += row.Malicious
 		agg.End()
 	}
-
-	out.TotalDistinct = len(urlutil.Dedupe(allURLs))
-	out.TotalDomains = len(domainSet)
-	out.MaliciousShortURLs = sortedSet(shortSet)
-	return out
+	return fs.finish(cstats)
 }
 
 // recordMalicious folds one malicious URL into the category/TLD/content
 // aggregates. scope names the exchange for the parse-stage tracer span
 // around the content-categorization HTML parse.
-func (an *Analyzer) recordMalicious(out *Analysis, scope string, rec crawler.Record, v Verdict, shortSet map[string]bool) {
+func (fs *foldState) recordMalicious(scope string, rec *crawler.Record, v Verdict) {
+	out := fs.out
 	if v.Category == CatMisc {
 		out.MiscCount++
 	} else {
@@ -273,7 +368,7 @@ func (an *Analyzer) recordMalicious(out *Analysis, scope string, rec crawler.Rec
 	if tld := urlutil.TLDOf(rec.EntryURL); tld != "" {
 		out.TLDCounts.Add(normalizeTLD(tld))
 	}
-	parse := an.Tracer.Start(scope, obs.StageParse)
+	parse := fs.an.Tracer.Start(scope, obs.StageParse)
 	out.ContentCategories.Add(contentCategoryOf(rec.Body))
 	parse.End()
 	if rec.Redirects > 0 {
@@ -281,7 +376,7 @@ func (an *Analyzer) recordMalicious(out *Analysis, scope string, rec crawler.Rec
 	}
 	if v.Category == CatShortened {
 		if norm, err := urlutil.Normalize(rec.EntryURL); err == nil {
-			shortSet[norm] = true
+			fs.shortSet[norm] = true
 		}
 	}
 }

@@ -1,0 +1,730 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Checkpoint format: a versioned, deterministic, hand-rolled binary codec
+// (no encoding/gob — gob serializes maps in random order, and we want the
+// same state to always produce the same bytes).
+//
+//	magic    [8]byte  "SLUMCKPT"
+//	version  u16      little-endian (currently 1)
+//	kind     u8       1 = analysis fold state, 2 = crawl dataset progress
+//	seed     u64      study seed the state was produced under
+//	cfghash  u64      fingerprint of every output-shaping StudyConfig field
+//	payload  ...      kind-specific body (uvarints, length-prefixed strings,
+//	                  maps with sorted keys, series as packed hit-bits)
+//	checksum u64      FNV-64a over every preceding byte
+//
+// Every multi-byte fixed-width integer is little-endian; counts and
+// non-negative integers travel as uvarints. Map keys and set members are
+// emitted in sorted order, so encoding the same state twice yields
+// byte-identical files. The trailing checksum turns truncation and bit
+// rot into clean decode errors instead of partial resumes.
+
+const (
+	checkpointMagic   = "SLUMCKPT"
+	checkpointVersion = 1
+)
+
+type checkpointKind uint8
+
+const (
+	ckptAnalysis checkpointKind = 1
+	ckptCrawl    checkpointKind = 2
+)
+
+// Checkpoint is a decoded resume point: either the folded accumulator
+// state of a streaming analysis run (slumreport) or the per-exchange
+// progress of a streaming dataset crawl (slumcrawl).
+type Checkpoint struct {
+	// Seed and ConfigHash identify the run the state belongs to; Validate
+	// refuses to resume under a different seed or configuration.
+	Seed       uint64
+	ConfigHash uint64
+
+	kind  checkpointKind
+	fold  *foldSnapshot
+	crawl []CrawlProgress
+}
+
+// CrawlProgress is one exchange's cursor in a streaming dataset crawl.
+type CrawlProgress struct {
+	Exchange string
+	// Records is the number of records durably written for the exchange;
+	// Failed how many of them were failed fetches; Bytes the exchange's
+	// spill-file length at the checkpoint (anything beyond it is a
+	// partial write from the crash and is truncated away on resume).
+	Records int
+	Failed  int
+	Bytes   int64
+}
+
+// Records returns the total number of records the checkpoint covers.
+func (c *Checkpoint) Records() int {
+	total := 0
+	switch c.kind {
+	case ckptAnalysis:
+		for _, ex := range c.fold.exchanges {
+			total += ex.folded
+		}
+	case ckptCrawl:
+		for _, p := range c.crawl {
+			total += p.Records
+		}
+	}
+	return total
+}
+
+// Validate checks that the checkpoint belongs to a run of cfg: same seed,
+// same output-shaping configuration. Worker count and cache settings are
+// deliberately excluded — analysis output is invariant to them, so a
+// checkpoint taken under -workers 8 resumes cleanly under -workers 1.
+func (c *Checkpoint) Validate(cfg StudyConfig) error {
+	if c.Seed != cfg.Seed {
+		return fmt.Errorf("core: checkpoint was taken under seed %d, not %d — refusing to resume", c.Seed, cfg.Seed)
+	}
+	if h := cfg.checkpointHash(); c.ConfigHash != h {
+		return fmt.Errorf("core: checkpoint config hash %016x does not match current configuration %016x "+
+			"(scale/pools/faults/retries must match the original run) — refusing to resume", c.ConfigHash, h)
+	}
+	return nil
+}
+
+// checkpointHash fingerprints every StudyConfig field that shapes the
+// record stream or the analysis output. Workers and DisableVerdictCache
+// are excluded: the PR 1 determinism contract makes output invariant to
+// both, so resuming under a different worker count is sound.
+func (cfg StudyConfig) checkpointHash() uint64 {
+	prof := cfg.FaultProfile
+	if prof == "" {
+		prof = "off"
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v%d|scale=%d|minmal=%d|minbenign=%d|short=%t|faults=%s|retries=%d",
+		checkpointVersion, cfg.Scale, cfg.MinMalPerPool, cfg.MinBenignPerPool,
+		cfg.DriveShortenerTraffic, prof, cfg.Retries)
+	return h.Sum64()
+}
+
+// foldSnapshot is the serializable image of a foldState: per-exchange
+// accumulators plus the global aggregates. Sets travel as sorted slices.
+type foldSnapshot struct {
+	exchanges  []exchangeSnap
+	miscCount  int
+	categories map[string]int
+	tlds       map[string]int
+	contents   map[string]int
+	redirects  map[int]int
+	errorKinds map[string]int
+	domainSet  []string
+	shortSet   []string
+	distinct   []string
+}
+
+// exchangeSnap is one exchange's snapshot. The Figure 3 series is packed
+// as one bit per observation (the cumulative series increments by 0 or 1).
+type exchangeSnap struct {
+	name       string
+	kind       int
+	folded     int
+	self       int
+	popular    int
+	regular    int
+	malicious  int
+	failed     int
+	retries    int
+	kinds      map[string]int
+	domains    []string
+	malDomains []string
+	seriesBits []byte
+}
+
+// snapshot captures the foldState's current value. The foldState remains
+// usable; the snapshot shares nothing with it.
+func (fs *foldState) snapshot() *foldSnapshot {
+	snap := &foldSnapshot{
+		miscCount:  fs.out.MiscCount,
+		categories: counterMap(fs.out.CategoryCounts),
+		tlds:       counterMap(fs.out.TLDCounts),
+		contents:   counterMap(fs.out.ContentCategories),
+		redirects:  histMap(fs.out.RedirectHist),
+		errorKinds: counterMap(fs.out.Health.ErrorKinds),
+		domainSet:  sortedSet(fs.domainSet),
+		shortSet:   sortedSet(fs.shortSet),
+		distinct:   sortedSet(fs.distinct),
+	}
+	for _, ef := range fs.exchanges {
+		cum := ef.series.Cumulative()
+		bits := make([]byte, (len(cum)+7)/8)
+		prev := 0
+		for i, c := range cum {
+			if c > prev {
+				bits[i/8] |= 1 << (i % 8)
+			}
+			prev = c
+		}
+		kinds := make(map[string]int, len(ef.kinds))
+		for k, v := range ef.kinds {
+			kinds[k] = v
+		}
+		snap.exchanges = append(snap.exchanges, exchangeSnap{
+			name:       ef.name,
+			kind:       int(ef.kind),
+			folded:     ef.folded,
+			self:       ef.row.Self,
+			popular:    ef.row.Popular,
+			regular:    ef.row.Regular,
+			malicious:  ef.row.Malicious,
+			failed:     ef.row.Failed,
+			retries:    ef.health.Retries,
+			kinds:      kinds,
+			domains:    sortedSet(ef.domains),
+			malDomains: sortedSet(ef.malDomains),
+			seriesBits: bits,
+		})
+	}
+	return snap
+}
+
+// restore hydrates a freshly built foldState from a snapshot. The
+// snapshot's exchanges must match the foldState's (same names, same
+// order) — a mismatch means the checkpoint belongs to a different rig.
+func (fs *foldState) restore(snap *foldSnapshot) error {
+	if len(snap.exchanges) != len(fs.exchanges) {
+		return fmt.Errorf("core: checkpoint covers %d exchanges, study has %d", len(snap.exchanges), len(fs.exchanges))
+	}
+	for i, es := range snap.exchanges {
+		ef := fs.exchanges[i]
+		if es.name != ef.name {
+			return fmt.Errorf("core: checkpoint exchange %d is %q, study has %q", i, es.name, ef.name)
+		}
+		ef.row.Crawled = es.folded
+		ef.row.Self = es.self
+		ef.row.Popular = es.popular
+		ef.row.Regular = es.regular
+		ef.row.Malicious = es.malicious
+		ef.row.Failed = es.failed
+		ef.health.Failed = es.failed
+		ef.health.Retries = es.retries
+		ef.folded = es.folded
+		for k, v := range es.kinds {
+			ef.kinds[k] = v
+		}
+		for _, d := range es.domains {
+			ef.domains[d] = true
+		}
+		for _, d := range es.malDomains {
+			ef.malDomains[d] = true
+		}
+		for i := 0; i < es.folded; i++ {
+			ef.series.Observe(es.seriesBits[i/8]&(1<<(i%8)) != 0)
+		}
+	}
+	fs.out.MiscCount = snap.miscCount
+	restoreCounter(fs.out.CategoryCounts, snap.categories)
+	restoreCounter(fs.out.TLDCounts, snap.tlds)
+	restoreCounter(fs.out.ContentCategories, snap.contents)
+	restoreCounter(fs.out.Health.ErrorKinds, snap.errorKinds)
+	for v, c := range snap.redirects {
+		for i := 0; i < c; i++ {
+			fs.out.RedirectHist.Observe(v)
+		}
+	}
+	for _, d := range snap.domainSet {
+		fs.domainSet[d] = true
+	}
+	for _, s := range snap.shortSet {
+		fs.shortSet[s] = true
+	}
+	for _, u := range snap.distinct {
+		fs.distinct[u] = true
+	}
+	return nil
+}
+
+func counterMap(c *stats.Counter) map[string]int {
+	out := make(map[string]int, c.Len())
+	for _, it := range c.Items() {
+		out[it.Key] = it.Count
+	}
+	return out
+}
+
+func restoreCounter(c *stats.Counter, m map[string]int) {
+	for k, v := range m {
+		c.AddN(k, v)
+	}
+}
+
+func histMap(h *stats.IntHist) map[int]int {
+	out := map[int]int{}
+	for _, b := range h.Buckets() {
+		if b.Count > 0 {
+			out[b.Value] = b.Count
+		}
+	}
+	return out
+}
+
+// ---- encoding ----
+
+type ckptWriter struct{ buf []byte }
+
+func (w *ckptWriter) u16(v uint16) { w.buf = append(w.buf, byte(v), byte(v>>8)) }
+
+func (w *ckptWriter) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		w.buf = append(w.buf, byte(v>>(8*i)))
+	}
+}
+
+func (w *ckptWriter) uvarint(v uint64) {
+	for v >= 0x80 {
+		w.buf = append(w.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	w.buf = append(w.buf, byte(v))
+}
+
+func (w *ckptWriter) count(n int) { w.uvarint(uint64(n)) }
+
+func (w *ckptWriter) str(s string) {
+	w.count(len(s))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *ckptWriter) strs(ss []string) {
+	w.count(len(ss))
+	for _, s := range ss {
+		w.str(s)
+	}
+}
+
+func (w *ckptWriter) strMap(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.count(len(keys))
+	for _, k := range keys {
+		w.str(k)
+		w.count(m[k])
+	}
+}
+
+func (w *ckptWriter) intMap(m map[int]int) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	w.count(len(keys))
+	for _, k := range keys {
+		w.count(k)
+		w.count(m[k])
+	}
+}
+
+// encodeCheckpoint assembles the full file image: header, payload,
+// trailing checksum.
+func encodeCheckpoint(kind checkpointKind, seed, cfgHash uint64, payload []byte) []byte {
+	w := &ckptWriter{buf: make([]byte, 0, len(payload)+64)}
+	w.buf = append(w.buf, checkpointMagic...)
+	w.u16(checkpointVersion)
+	w.buf = append(w.buf, byte(kind))
+	w.u64(seed)
+	w.u64(cfgHash)
+	w.buf = append(w.buf, payload...)
+	h := fnv.New64a()
+	h.Write(w.buf)
+	w.u64(h.Sum64())
+	return w.buf
+}
+
+func encodeFoldPayload(snap *foldSnapshot) []byte {
+	w := &ckptWriter{}
+	w.count(len(snap.exchanges))
+	for _, es := range snap.exchanges {
+		w.str(es.name)
+		w.count(es.kind)
+		w.count(es.folded)
+		w.count(es.self)
+		w.count(es.popular)
+		w.count(es.regular)
+		w.count(es.malicious)
+		w.count(es.failed)
+		w.count(es.retries)
+		w.strMap(es.kinds)
+		w.strs(es.domains)
+		w.strs(es.malDomains)
+		w.buf = append(w.buf, es.seriesBits...)
+	}
+	w.count(snap.miscCount)
+	w.strMap(snap.categories)
+	w.strMap(snap.tlds)
+	w.strMap(snap.contents)
+	w.intMap(snap.redirects)
+	w.strMap(snap.errorKinds)
+	w.strs(snap.domainSet)
+	w.strs(snap.shortSet)
+	w.strs(snap.distinct)
+	return w.buf
+}
+
+func encodeCrawlPayload(progress []CrawlProgress) []byte {
+	w := &ckptWriter{}
+	w.count(len(progress))
+	for _, p := range progress {
+		w.str(p.Exchange)
+		w.count(p.Records)
+		w.count(p.Failed)
+		w.uvarint(uint64(p.Bytes))
+	}
+	return w.buf
+}
+
+// writeCheckpointFile persists a checkpoint atomically: the image lands
+// in a sibling temp file first and is renamed into place, so a crash
+// mid-write can never leave a truncated checkpoint where a good one was.
+func writeCheckpointFile(path string, kind checkpointKind, seed, cfgHash uint64, payload []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, encodeCheckpoint(kind, seed, cfgHash, payload), 0o644); err != nil {
+		return fmt.Errorf("core: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ---- decoding ----
+
+type ckptReader struct {
+	data []byte
+	off  int
+}
+
+func (r *ckptReader) remaining() int { return len(r.data) - r.off }
+
+func (r *ckptReader) bytes(n int) ([]byte, error) {
+	if n < 0 || n > r.remaining() {
+		return nil, fmt.Errorf("core: checkpoint: truncated (need %d bytes, have %d)", n, r.remaining())
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *ckptReader) u16() (uint16, error) {
+	b, err := r.bytes(2)
+	if err != nil {
+		return 0, err
+	}
+	return uint16(b[0]) | uint16(b[1])<<8, nil
+}
+
+func (r *ckptReader) u64() (uint64, error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v, nil
+}
+
+func (r *ckptReader) uvarint() (uint64, error) {
+	var v uint64
+	for shift := 0; shift < 64; shift += 7 {
+		if r.off >= len(r.data) {
+			return 0, fmt.Errorf("core: checkpoint: truncated varint")
+		}
+		b := r.data[r.off]
+		r.off++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("core: checkpoint: varint overflow")
+}
+
+// count reads a non-negative count and sanity-bounds it: a count of N
+// items always implies at least N*min bytes still to read, so corrupt
+// headers cannot trigger huge allocations.
+func (r *ckptReader) count(min int) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if min > 0 && v > uint64(r.remaining()/min) {
+		return 0, fmt.Errorf("core: checkpoint: count %d exceeds remaining data", v)
+	}
+	if v > uint64(int(^uint(0)>>1)) {
+		return 0, fmt.Errorf("core: checkpoint: count %d overflows int", v)
+	}
+	return int(v), nil
+}
+
+func (r *ckptReader) str() (string, error) {
+	n, err := r.count(1)
+	if err != nil {
+		return "", err
+	}
+	b, err := r.bytes(n)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (r *ckptReader) strs() ([]string, error) {
+	n, err := r.count(1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (r *ckptReader) strMap() (map[string]int, error) {
+	n, err := r.count(2)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		k, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.count(0)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+func (r *ckptReader) intMap() (map[int]int, error) {
+	n, err := r.count(2)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]int, n)
+	for i := 0; i < n; i++ {
+		k, err := r.count(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.count(0)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// LoadCheckpoint reads and fully validates a checkpoint file: magic,
+// version, checksum and structural integrity. Truncated, corrupted or
+// foreign files produce a clean error — never a partial Checkpoint.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load checkpoint: %w", err)
+	}
+	c, err := decodeCheckpoint(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: load checkpoint %s: %w", filepath.Base(path), err)
+	}
+	return c, nil
+}
+
+// decodeCheckpoint parses a full checkpoint image. Exercised directly by
+// FuzzCheckpointDecode: it must return an error on malformed input, never
+// panic or over-allocate.
+func decodeCheckpoint(data []byte) (*Checkpoint, error) {
+	minLen := len(checkpointMagic) + 2 + 1 + 8 + 8 + 8
+	if len(data) < minLen {
+		return nil, fmt.Errorf("core: checkpoint: file too short (%d bytes)", len(data))
+	}
+	body, sum := data[:len(data)-8], data[len(data)-8:]
+	h := fnv.New64a()
+	h.Write(body)
+	var want uint64
+	for i := 0; i < 8; i++ {
+		want |= uint64(sum[i]) << (8 * i)
+	}
+	if h.Sum64() != want {
+		return nil, fmt.Errorf("core: checkpoint: checksum mismatch (file truncated or corrupted)")
+	}
+
+	r := &ckptReader{data: body}
+	magic, _ := r.bytes(len(checkpointMagic))
+	if string(magic) != checkpointMagic {
+		return nil, fmt.Errorf("core: checkpoint: bad magic %q", magic)
+	}
+	version, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if version != checkpointVersion {
+		return nil, fmt.Errorf("core: checkpoint: unsupported version %d (want %d)", version, checkpointVersion)
+	}
+	kindB, err := r.bytes(1)
+	if err != nil {
+		return nil, err
+	}
+	c := &Checkpoint{kind: checkpointKind(kindB[0])}
+	if c.Seed, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if c.ConfigHash, err = r.u64(); err != nil {
+		return nil, err
+	}
+	switch c.kind {
+	case ckptAnalysis:
+		if c.fold, err = decodeFoldPayload(r); err != nil {
+			return nil, err
+		}
+	case ckptCrawl:
+		if c.crawl, err = decodeCrawlPayload(r); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: checkpoint: unknown payload kind %d", c.kind)
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("core: checkpoint: %d trailing bytes", r.remaining())
+	}
+	return c, nil
+}
+
+func decodeFoldPayload(r *ckptReader) (*foldSnapshot, error) {
+	nEx, err := r.count(8)
+	if err != nil {
+		return nil, err
+	}
+	snap := &foldSnapshot{}
+	for i := 0; i < nEx; i++ {
+		var es exchangeSnap
+		if es.name, err = r.str(); err != nil {
+			return nil, err
+		}
+		ints := []*int{&es.kind, &es.folded, &es.self, &es.popular, &es.regular,
+			&es.malicious, &es.failed, &es.retries}
+		for _, p := range ints {
+			if *p, err = r.count(0); err != nil {
+				return nil, err
+			}
+		}
+		if es.kinds, err = r.strMap(); err != nil {
+			return nil, err
+		}
+		if es.domains, err = r.strs(); err != nil {
+			return nil, err
+		}
+		if es.malDomains, err = r.strs(); err != nil {
+			return nil, err
+		}
+		nBits := (es.folded + 7) / 8
+		if es.seriesBits, err = r.bytes(nBits); err != nil {
+			return nil, err
+		}
+		if es.self+es.popular+es.regular+es.failed != es.folded {
+			return nil, fmt.Errorf("core: checkpoint: exchange %q class counts do not sum to folded count", es.name)
+		}
+		snap.exchanges = append(snap.exchanges, es)
+	}
+	if snap.miscCount, err = r.count(0); err != nil {
+		return nil, err
+	}
+	if snap.categories, err = r.strMap(); err != nil {
+		return nil, err
+	}
+	if snap.tlds, err = r.strMap(); err != nil {
+		return nil, err
+	}
+	if snap.contents, err = r.strMap(); err != nil {
+		return nil, err
+	}
+	if snap.redirects, err = r.intMap(); err != nil {
+		return nil, err
+	}
+	if snap.errorKinds, err = r.strMap(); err != nil {
+		return nil, err
+	}
+	if snap.domainSet, err = r.strs(); err != nil {
+		return nil, err
+	}
+	if snap.shortSet, err = r.strs(); err != nil {
+		return nil, err
+	}
+	if snap.distinct, err = r.strs(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+func decodeCrawlPayload(r *ckptReader) ([]CrawlProgress, error) {
+	n, err := r.count(4)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CrawlProgress, 0, n)
+	for i := 0; i < n; i++ {
+		var p CrawlProgress
+		if p.Exchange, err = r.str(); err != nil {
+			return nil, err
+		}
+		if p.Records, err = r.count(0); err != nil {
+			return nil, err
+		}
+		if p.Failed, err = r.count(0); err != nil {
+			return nil, err
+		}
+		b, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if b > 1<<62 {
+			return nil, fmt.Errorf("core: checkpoint: byte offset %d out of range", b)
+		}
+		p.Bytes = int64(b)
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// kindOf is a small helper for tests and tooling: it reports the payload
+// kind name without exposing the enum.
+func (c *Checkpoint) KindName() string {
+	switch c.kind {
+	case ckptAnalysis:
+		return "analysis"
+	case ckptCrawl:
+		return "crawl"
+	}
+	return fmt.Sprintf("unknown(%d)", c.kind)
+}

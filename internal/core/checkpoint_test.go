@@ -1,0 +1,302 @@
+package core
+
+import (
+	"errors"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleFoldSnapshot is a hand-built accumulator image exercising every
+// payload field, including empty maps and multi-byte varint counts.
+func sampleFoldSnapshot() *foldSnapshot {
+	return &foldSnapshot{
+		exchanges: []exchangeSnap{
+			{
+				name: "HitLeap", kind: 0, folded: 11, self: 2, popular: 3, regular: 5, failed: 1,
+				malicious: 2, retries: 4,
+				kinds:      map[string]int{"timeout": 1},
+				domains:    []string{"a.sim", "b.sim"},
+				malDomains: []string{"b.sim"},
+				seriesBits: []byte{0b0100_0010, 0b0000_0001},
+			},
+			{
+				name: "Otohits", kind: 1, folded: 0, kinds: map[string]int{},
+				domains: []string{}, malDomains: []string{}, seriesBits: []byte{},
+			},
+		},
+		miscCount:  7,
+		categories: map[string]int{"PUP": 300, "adware": 12},
+		tlds:       map[string]int{"com": 250, "net": 40, "pw": 17},
+		contents:   map[string]int{"Business": 128},
+		redirects:  map[int]int{1: 9, 2: 4, 7: 1},
+		errorKinds: map[string]int{"timeout": 1},
+		domainSet:  []string{"a.sim", "b.sim", "c.sim"},
+		shortSet:   []string{"http://sh.sim/x"},
+		distinct:   []string{"http://a.sim/", "http://b.sim/p?q=1"},
+	}
+}
+
+// TestCheckpointRoundTrip locks in codec fidelity and determinism for
+// both payload kinds: encode → decode → re-encode must reproduce the
+// exact structure and the exact bytes.
+func TestCheckpointRoundTrip(t *testing.T) {
+	t.Run("analysis", func(t *testing.T) {
+		snap := sampleFoldSnapshot()
+		img := encodeCheckpoint(ckptAnalysis, 42, 0xfeedface, encodeFoldPayload(snap))
+		c, err := decodeCheckpoint(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Seed != 42 || c.ConfigHash != 0xfeedface || c.kind != ckptAnalysis {
+			t.Fatalf("header round-trip: %+v", c)
+		}
+		if !reflect.DeepEqual(snap, c.fold) {
+			t.Error("fold snapshot does not round-trip")
+		}
+		img2 := encodeCheckpoint(ckptAnalysis, 42, 0xfeedface, encodeFoldPayload(c.fold))
+		if string(img) != string(img2) {
+			t.Error("re-encoding a decoded checkpoint produced different bytes")
+		}
+		if got := c.Records(); got != 11 {
+			t.Errorf("Records() = %d, want 11", got)
+		}
+	})
+	t.Run("crawl", func(t *testing.T) {
+		progress := []CrawlProgress{
+			{Exchange: "HitLeap", Records: 1200, Failed: 17, Bytes: 9_482_113},
+			{Exchange: "Otohits", Records: 0, Failed: 0, Bytes: 0},
+			{Exchange: "EasyHits4U", Records: 1 << 20, Failed: 3, Bytes: 1 << 33},
+		}
+		img := encodeCheckpoint(ckptCrawl, 7, 99, encodeCrawlPayload(progress))
+		c, err := decodeCheckpoint(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.kind != ckptCrawl {
+			t.Fatalf("kind = %s", c.KindName())
+		}
+		if !reflect.DeepEqual(progress, c.crawl) {
+			t.Errorf("crawl progress does not round-trip:\n want %+v\n got  %+v", progress, c.crawl)
+		}
+		if got := c.Records(); got != 1200+(1<<20) {
+			t.Errorf("Records() = %d", got)
+		}
+	})
+}
+
+// TestCheckpointDecodeCorruption is the table-driven corruption suite:
+// every damaged image must produce a clean error — never a panic, never a
+// partially-populated Checkpoint.
+func TestCheckpointDecodeCorruption(t *testing.T) {
+	valid := encodeCheckpoint(ckptAnalysis, 42, 0xfeedface, encodeFoldPayload(sampleFoldSnapshot()))
+
+	cases := []struct {
+		name    string
+		mutate  func() []byte
+		wantSub string
+	}{
+		{"empty file", func() []byte { return nil }, "too short"},
+		{"header only", func() []byte { return append([]byte(nil), valid[:27]...) }, "too short"},
+		{"truncated mid-payload", func() []byte { return append([]byte(nil), valid[:len(valid)/2]...) }, "checksum"},
+		{"truncated one byte", func() []byte { return append([]byte(nil), valid[:len(valid)-1]...) }, "checksum"},
+		{"flipped header bit", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[3] ^= 0x40
+			return b
+		}, "checksum"},
+		{"flipped payload bit", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[len(b)/2] ^= 0x01
+			return b
+		}, "checksum"},
+		{"flipped checksum bit", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[len(b)-1] ^= 0x80
+			return b
+		}, "checksum"},
+		{"trailing garbage", func() []byte { return append(append([]byte(nil), valid...), 0xde, 0xad) }, "checksum"},
+		{"bad magic", func() []byte {
+			return resealRaw(t, func(b []byte) { copy(b, "NOTSLUMS") })
+		}, "bad magic"},
+		{"future version", func() []byte {
+			return resealRaw(t, func(b []byte) { b[8], b[9] = 0xff, 0x7f })
+		}, "unsupported version"},
+		{"unknown kind", func() []byte {
+			return resealRaw(t, func(b []byte) { b[10] = 9 })
+		}, "unknown payload kind"},
+		{"count bomb", func() []byte {
+			// Replace the exchange count (first payload byte) with a huge
+			// varint so a naive decoder would allocate gigabytes.
+			img := encodeCheckpoint(ckptAnalysis, 42, 0xfeedface,
+				[]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+			return img
+		}, "exceeds remaining data"},
+		{"inconsistent class sums", func() []byte {
+			snap := sampleFoldSnapshot()
+			snap.exchanges[0].self++ // self+popular+regular+failed != folded
+			return encodeCheckpoint(ckptAnalysis, 42, 0xfeedface, encodeFoldPayload(snap))
+		}, "do not sum"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := decodeCheckpoint(tc.mutate())
+			if err == nil {
+				t.Fatalf("decode succeeded (%+v), want error containing %q", c, tc.wantSub)
+			}
+			if c != nil {
+				t.Errorf("decode returned partial checkpoint alongside error %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// resealRaw mutates a valid image's header in place and recomputes the
+// trailing checksum, so structural checks past the checksum are reachable.
+func resealRaw(t *testing.T, mutate func([]byte)) []byte {
+	t.Helper()
+	img := encodeCheckpoint(ckptAnalysis, 42, 0xfeedface, encodeFoldPayload(sampleFoldSnapshot()))
+	body := append([]byte(nil), img[:len(img)-8]...)
+	mutate(body)
+	h := fnv.New64a()
+	h.Write(body)
+	w := &ckptWriter{buf: body}
+	w.u64(h.Sum64())
+	return w.buf
+}
+
+// TestLoadCheckpointErrors covers the file-level failure modes: a missing
+// path and a corrupt file both produce clean errors.
+func TestLoadCheckpointErrors(t *testing.T) {
+	if _, err := LoadCheckpoint(filepath.Join(t.TempDir(), "missing.ckpt")); err == nil {
+		t.Error("loading a missing checkpoint succeeded")
+	}
+	p := filepath.Join(t.TempDir(), "bad.ckpt")
+	if err := os.WriteFile(p, []byte("SLUMCKPT but junk after"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(p); err == nil {
+		t.Error("loading a corrupt checkpoint succeeded")
+	}
+}
+
+// TestCheckpointValidate pins the resume-safety matrix: wrong seed and
+// any output-shaping config change refuse; worker/cache changes resume.
+func TestCheckpointValidate(t *testing.T) {
+	cfg := DefaultStudyConfig()
+	img := encodeCheckpoint(ckptAnalysis, cfg.Seed, cfg.checkpointHash(), encodeFoldPayload(sampleFoldSnapshot()))
+	c, err := decodeCheckpoint(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(cfg); err != nil {
+		t.Fatalf("matching config rejected: %v", err)
+	}
+
+	same := []func(*StudyConfig){
+		func(c *StudyConfig) { c.Workers = 32 },
+		func(c *StudyConfig) { c.DisableVerdictCache = true },
+		func(c *StudyConfig) { c.Metrics = nil; c.Tracer = nil },
+	}
+	for i, mod := range same {
+		m := cfg
+		mod(&m)
+		if err := c.Validate(m); err != nil {
+			t.Errorf("output-invariant change %d rejected: %v", i, err)
+		}
+	}
+
+	diff := []struct {
+		name string
+		mod  func(*StudyConfig)
+	}{
+		{"seed", func(c *StudyConfig) { c.Seed = 99 }},
+		{"scale", func(c *StudyConfig) { c.Scale = 10 }},
+		{"min mal pool", func(c *StudyConfig) { c.MinMalPerPool = 99 }},
+		{"min benign pool", func(c *StudyConfig) { c.MinBenignPerPool = 99 }},
+		{"shortener traffic", func(c *StudyConfig) { c.DriveShortenerTraffic = !c.DriveShortenerTraffic }},
+		{"fault profile", func(c *StudyConfig) { c.FaultProfile = "flaky" }},
+		{"retries", func(c *StudyConfig) { c.Retries = 9 }},
+	}
+	for _, tc := range diff {
+		m := cfg
+		tc.mod(&m)
+		if err := c.Validate(m); err == nil {
+			t.Errorf("changed %s: Validate accepted a mismatched checkpoint", tc.name)
+		}
+	}
+
+	// "" and "off" name the same profile and must hash identically.
+	off := cfg
+	off.FaultProfile = "off"
+	if cfg.FaultProfile == "" {
+		if err := c.Validate(off); err != nil {
+			t.Errorf(`profile "off" rejected against checkpoint taken under "": %v`, err)
+		}
+	}
+}
+
+// TestCheckpointAtomicWrite ensures a checkpoint write replaces the file
+// atomically and leaves no temp droppings.
+func TestCheckpointAtomicWrite(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "x.ckpt")
+	for i := 0; i < 3; i++ {
+		snap := sampleFoldSnapshot()
+		snap.miscCount = i
+		if err := writeCheckpointFile(p, ckptAnalysis, 1, 2, encodeFoldPayload(snap)); err != nil {
+			t.Fatal(err)
+		}
+		c, err := LoadCheckpoint(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.fold.miscCount != i {
+			t.Fatalf("write %d: read back miscCount %d", i, c.fold.miscCount)
+		}
+	}
+	if _, err := os.Stat(p + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Error("temp file left behind after checkpoint writes")
+	}
+}
+
+// FuzzCheckpointDecode hammers the decoder with arbitrary bytes: it must
+// reject or accept without panicking, and anything it accepts must
+// re-encode to the exact input bytes (the codec is canonical).
+func FuzzCheckpointDecode(f *testing.F) {
+	f.Add(encodeCheckpoint(ckptAnalysis, 42, 0xfeedface, encodeFoldPayload(sampleFoldSnapshot())))
+	f.Add(encodeCheckpoint(ckptAnalysis, 0, 0, encodeFoldPayload(&foldSnapshot{})))
+	f.Add(encodeCheckpoint(ckptCrawl, 7, 99, encodeCrawlPayload([]CrawlProgress{
+		{Exchange: "HitLeap", Records: 10, Failed: 1, Bytes: 4096},
+	})))
+	f.Add(encodeCheckpoint(ckptCrawl, 1, 1, encodeCrawlPayload(nil)))
+	f.Add([]byte{})
+	f.Add([]byte("SLUMCKPT"))
+	f.Add([]byte("SLUMCKPTxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := decodeCheckpoint(data)
+		if err != nil {
+			if c != nil {
+				t.Fatal("error with non-nil checkpoint")
+			}
+			return
+		}
+		var img []byte
+		switch c.kind {
+		case ckptAnalysis:
+			img = encodeCheckpoint(c.kind, c.Seed, c.ConfigHash, encodeFoldPayload(c.fold))
+		case ckptCrawl:
+			img = encodeCheckpoint(c.kind, c.Seed, c.ConfigHash, encodeCrawlPayload(c.crawl))
+		default:
+			t.Fatalf("accepted unknown kind %d", c.kind)
+		}
+		if string(img) != string(data) {
+			t.Fatal("accepted image does not re-encode to input bytes")
+		}
+	})
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/crawler"
+	"repro/internal/obs"
+)
+
+// ErrAborted reports that a streaming run was stopped by StreamOptions.
+// AbortAfter — the deterministic stand-in for a kill signal used by the
+// kill/resume tests and the CI smoke job. The state on disk is whatever
+// periodic checkpoint was last atomically written, exactly as after a
+// real SIGKILL.
+var ErrAborted = errors.New("core: streaming run aborted")
+
+// errStreamStopped unwinds the crawl goroutines once the aggregator has
+// decided to stop; it never escapes RunStream.
+var errStreamStopped = errors.New("core: stream stopped")
+
+// StreamOptions tunes a bounded-memory streaming run (Study.RunStream).
+type StreamOptions struct {
+	// CheckpointPath, when non-empty, enables periodic checkpointing:
+	// every CheckpointEvery folded records the full accumulator state is
+	// written atomically to this path. The file is removed when the run
+	// completes, so a checkpoint exists exactly while a run is resumable.
+	CheckpointPath string
+	// CheckpointEvery is the fold-count interval between checkpoint
+	// writes; <= 0 means 5000.
+	CheckpointEvery int
+	// Resume, when set, restores the accumulator from a loaded checkpoint
+	// and fast-forwards the crawl past the records it already covers. The
+	// checkpoint must validate against the study's seed and config.
+	Resume *Checkpoint
+	// Window bounds the streaming channels (scan queue and in-order fold
+	// queue); peak resident record count is O(Window + workers). <= 0
+	// means max(16, 4*workers).
+	Window int
+	// AbortAfter, when > 0, simulates a kill: the run stops with
+	// ErrAborted after folding that many records in this process, without
+	// writing a final checkpoint. Testing hook; 0 disables.
+	AbortAfter int
+}
+
+// RunStream executes the crawl and the analysis as one bounded-memory
+// pipeline: crawler goroutines emit records through bounded channels, the
+// detection worker pool consumes them as they arrive, and a single
+// aggregator goroutine folds verdicts into the incremental accumulator in
+// per-exchange record order. Nothing accumulates per record — no record
+// slices, no HAR, no verdict log — so peak memory is O(workers + Window
+// + aggregate state), not O(URLs). The resulting st.Analysis is
+// element-identical to the batch path's (Study.Run) except that Verdicts
+// is left empty; every report rendered from it is byte-identical.
+//
+// With a checkpoint path configured, kill-at-any-point + resume yields
+// the same final Analysis as an uninterrupted run: the resumed process
+// replays the deterministic crawl, skips the records the checkpoint
+// already covers (their fetches still run, keeping the virtual clock and
+// shortener hit counters exact), and folds only the remainder.
+func (st *Study) RunStream(opts StreamOptions) error {
+	an := st.Analyzer
+	names, kinds := st.exchangeNamesKinds()
+	fs := newFoldState(an, names, kinds, false)
+	startAt := make([]int, len(names))
+	resumedTotal := 0
+	if opts.Resume != nil {
+		if opts.Resume.kind != ckptAnalysis {
+			return fmt.Errorf("core: checkpoint is a %s checkpoint, not an analysis one", opts.Resume.KindName())
+		}
+		if err := opts.Resume.Validate(st.Config); err != nil {
+			return err
+		}
+		if err := fs.restore(opts.Resume.fold); err != nil {
+			return err
+		}
+		for i, es := range opts.Resume.fold.exchanges {
+			if es.folded > st.Steps[i] {
+				return fmt.Errorf("core: checkpoint progress %d on %q exceeds the study's %d steps",
+					es.folded, es.name, st.Steps[i])
+			}
+			startAt[i] = es.folded
+			resumedTotal += es.folded
+		}
+		an.Metrics.Counter("stream.checkpoint.resumed_records").Add(int64(resumedTotal))
+	}
+
+	if st.Config.DriveShortenerTraffic {
+		st.driveShortenerTraffic()
+	}
+	transport := st.transport()
+
+	workers := an.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	window := opts.Window
+	if window <= 0 {
+		window = 4 * workers
+		if window < 16 {
+			window = 16
+		}
+	}
+	every := opts.CheckpointEvery
+	if every <= 0 {
+		every = 5000
+	}
+
+	var cache *VerdictCache
+	if !an.DisableCache {
+		cache = NewVerdictCache()
+	}
+
+	an.Metrics.Gauge("pipeline.workers.configured").Set(int64(workers))
+	an.Metrics.Gauge("stream.window").Set(int64(window))
+	busy := an.Metrics.Gauge("pipeline.workers.busy")
+	peak := an.Metrics.Gauge("pipeline.workers.peak")
+	scanDepth := an.Metrics.Gauge("stream.scan_queue.depth")
+	scanPeak := an.Metrics.Gauge("stream.scan_queue.peak")
+	orderDepth := an.Metrics.Gauge("stream.order_queue.depth")
+	orderPeak := an.Metrics.Gauge("stream.order_queue.peak")
+
+	// streamJob carries one record through the pipeline. done is buffered
+	// so workers never block on it, which is what makes the shutdown and
+	// abort paths deadlock-free by construction.
+	type streamJob struct {
+		ex   int
+		rec  crawler.Record
+		done chan recOutcome
+	}
+	scanQ := make(chan *streamJob, window)
+	orderQ := make(chan *streamJob, window)
+	stopC := make(chan struct{})
+	var stopOnce sync.Once
+	stop := func() { stopOnce.Do(func() { close(stopC) }) }
+
+	var workerWG sync.WaitGroup
+	workerWG.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer workerWG.Done()
+			for j := range scanQ {
+				busy.Add(1)
+				peak.SetMax(busy.Value())
+				j.done <- an.scanOne(cache, names[j.ex], &j.rec)
+				busy.Add(-1)
+			}
+		}()
+	}
+
+	// sink runs on the per-exchange crawl goroutines. Records the resume
+	// checkpoint already covers are fetched (the virtual clock and the
+	// shortener hit counters must advance exactly as in the original run)
+	// but never scanned or folded. Jobs enter scanQ strictly before
+	// orderQ: anything the aggregator waits on is already on its way
+	// through the worker pool.
+	sink := func(ei int, rec *crawler.Record) error {
+		if rec.Seq < startAt[ei] {
+			an.Metrics.Counter("stream.skipped").Inc()
+			return nil
+		}
+		j := &streamJob{ex: ei, rec: *rec, done: make(chan recOutcome, 1)}
+		select {
+		case scanQ <- j:
+		case <-stopC:
+			return errStreamStopped
+		}
+		select {
+		case orderQ <- j:
+		case <-stopC:
+			return errStreamStopped
+		}
+		return nil
+	}
+
+	start := time.Now()
+	crawlDone := make(chan error, 1)
+	go func() {
+		err := crawler.CrawlAllStream(st.Exchanges, transport, st.Steps, st.crawlOptions(), sink)
+		close(scanQ)
+		close(orderQ)
+		crawlDone <- err
+	}()
+
+	// The aggregator: the single owner of all fold state. It consumes
+	// jobs in emission order (per-exchange record order is preserved
+	// within the channel's per-sender FIFO guarantee; cross-exchange
+	// interleaving is harmless because every global aggregate is
+	// commutative), waits for each job's verdict, folds it, and writes
+	// periodic checkpoints from a self-consistent single-threaded view.
+	foldedThisRun := 0
+	aborted := false
+	var ckptErr error
+	for j := range orderQ {
+		if aborted {
+			continue // drain without folding so the crawlers can unwind
+		}
+		o := <-j.done
+		fs.fold(j.ex, &j.rec, o)
+		foldedThisRun++
+		an.Metrics.Counter("stream.records").Inc()
+		scanDepth.Set(int64(len(scanQ)))
+		scanPeak.SetMax(int64(len(scanQ)))
+		orderDepth.Set(int64(len(orderQ)))
+		orderPeak.SetMax(int64(len(orderQ)))
+
+		if opts.CheckpointPath != "" && (resumedTotal+foldedThisRun)%every == 0 {
+			if err := writeCheckpointFile(opts.CheckpointPath, ckptAnalysis,
+				st.Config.Seed, st.Config.checkpointHash(), encodeFoldPayload(fs.snapshot())); err != nil {
+				ckptErr = err
+				aborted = true
+				stop()
+				continue
+			}
+			an.Metrics.Counter("stream.checkpoint.writes").Inc()
+		}
+		if opts.AbortAfter > 0 && foldedThisRun >= opts.AbortAfter {
+			aborted = true
+			stop()
+		}
+	}
+	crawlErr := <-crawlDone
+	workerWG.Wait()
+	stop() // release the stop channel in every exit path
+
+	if ckptErr != nil {
+		return ckptErr
+	}
+	if opts.AbortAfter > 0 && aborted {
+		return fmt.Errorf("%w after %d records (checkpoint: %s)", ErrAborted, foldedThisRun, opts.CheckpointPath)
+	}
+	if crawlErr != nil {
+		return fmt.Errorf("core: streaming crawl: %w", crawlErr)
+	}
+
+	cstats := CacheStats{}
+	if cache != nil {
+		cstats = cache.Stats()
+	}
+	an.Metrics.Counter("pipeline.cache.hits").Add(int64(cstats.Hits))
+	an.Metrics.Counter("pipeline.cache.misses").Add(int64(cstats.Misses))
+	// One aggregate-stage span per exchange, mirroring the batch path's
+	// span counts (the fold work itself is interleaved and unattributable
+	// to a single exchange-scoped interval).
+	for _, name := range names {
+		an.Tracer.Start(name, obs.StageAggregate).End()
+	}
+	st.Config.Metrics.Histogram("study.stream_seconds").Observe(time.Since(start).Seconds())
+
+	st.Analysis = fs.finish(cstats)
+	if opts.CheckpointPath != "" {
+		// The run is complete: a checkpoint now would only invite a
+		// pointless resume, so the invariant is "a checkpoint file exists
+		// exactly while a run is interrupted and resumable".
+		os.Remove(opts.CheckpointPath)
+	}
+	return nil
+}
+
+// RunStudyStream is the streaming analog of RunStudy: build the study,
+// then execute crawl + analysis as one bounded-memory pipeline.
+func RunStudyStream(cfg StudyConfig, opts StreamOptions) (*Study, error) {
+	st, err := NewStudy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.RunStream(opts); err != nil {
+		return nil, err
+	}
+	return st, nil
+}

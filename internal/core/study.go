@@ -167,21 +167,8 @@ func (st *Study) Run() error {
 	if st.Config.DriveShortenerTraffic {
 		st.driveShortenerTraffic()
 	}
-	transport := httpsim.RoundTripper(st.Universe.Internet)
-	if prof, ok := httpsim.ProfileByName(st.Config.FaultProfile); ok && !prof.Zero() {
-		// Seed offset keeps the fault stream independent of the universe
-		// and detector streams derived from the same study seed.
-		fi := httpsim.NewFaultInjector(transport, prof, st.Config.Seed+0x5eed)
-		fi.Metrics = st.Config.Metrics
-		transport = fi
-	}
-	opts := crawler.DefaultOptions(0)
-	opts.Retries = st.Config.Retries
-	opts.Metrics = st.Config.Metrics
-	opts.Tracer = st.Config.Tracer
-
 	crawlStart := time.Now()
-	crawls, err := crawler.CrawlAll(st.Exchanges, transport, st.Steps, opts)
+	crawls, err := crawler.CrawlAll(st.Exchanges, st.transport(), st.Steps, st.crawlOptions())
 	if err != nil {
 		return fmt.Errorf("core: crawl: %w", err)
 	}
@@ -198,6 +185,43 @@ func (st *Study) Run() error {
 		st.Config.Metrics.Gauge("study.crawl_urls_per_sec").Set(int64(float64(st.Analysis.TotalCrawled) / secs))
 	}
 	return nil
+}
+
+// transport assembles the crawl-path transport: the virtual internet,
+// wrapped in the configured fault injector when a profile is set. Both
+// the batch and the streaming pipeline crawl through exactly this stack,
+// which is what makes their fetch streams — and therefore their reports —
+// interchangeable.
+func (st *Study) transport() httpsim.RoundTripper {
+	transport := httpsim.RoundTripper(st.Universe.Internet)
+	if prof, ok := httpsim.ProfileByName(st.Config.FaultProfile); ok && !prof.Zero() {
+		// Seed offset keeps the fault stream independent of the universe
+		// and detector streams derived from the same study seed.
+		fi := httpsim.NewFaultInjector(transport, prof, st.Config.Seed+0x5eed)
+		fi.Metrics = st.Config.Metrics
+		transport = fi
+	}
+	return transport
+}
+
+// crawlOptions derives the shared per-crawl base options from the config.
+func (st *Study) crawlOptions() crawler.Options {
+	opts := crawler.DefaultOptions(0)
+	opts.Retries = st.Config.Retries
+	opts.Metrics = st.Config.Metrics
+	opts.Tracer = st.Config.Tracer
+	return opts
+}
+
+// exchangeNamesKinds lists the study's exchanges in crawl order.
+func (st *Study) exchangeNamesKinds() ([]string, []exchange.Kind) {
+	names := make([]string, len(st.Exchanges))
+	kinds := make([]exchange.Kind, len(st.Exchanges))
+	for i, ex := range st.Exchanges {
+		names[i] = ex.Config().Name
+		kinds[i] = ex.Config().Kind
+	}
+	return names, kinds
 }
 
 // driveShortenerTraffic simulates the background member traffic that

@@ -196,17 +196,72 @@ func NewClient(transport httpsim.RoundTripper) *httpsim.Client {
 	return c
 }
 
-// CrawlExchange runs a full measurement session against one exchange.
+// visitFunc receives each completed record as the crawl produces it. rec
+// is valid only for the duration of the call (the batch wrapper copies it;
+// streaming consumers must copy whatever they retain). res carries the raw
+// fetch result for HAR capture (nil or partial on failed fetches), and
+// pageClock is the virtual time the page load began (HAR page timestamp).
+// A non-nil error aborts the crawl.
+type visitFunc func(rec *Record, res *httpsim.Result, pageClock time.Time) error
+
+// CrawlExchange runs a full measurement session against one exchange,
+// accumulating records (and optionally a HAR archive) in memory.
 func CrawlExchange(ex *exchange.Exchange, transport httpsim.RoundTripper, opts Options) (*Crawl, error) {
+	out := &Crawl{
+		Exchange: ex.Config().Name,
+		Kind:     ex.Config().Kind,
+	}
+	var harb *har.Builder
+	if opts.CaptureHAR {
+		harb = har.NewBuilder()
+	}
+	visit := func(rec *Record, res *httpsim.Result, pageClock time.Time) error {
+		if harb != nil && rec.FetchErr == "" {
+			pid := harb.AddPage(rec.EntryURL, pageClock)
+			harb.AddResult(pid, BrowserUA, pageClock, res)
+		}
+		out.Records = append(out.Records, *rec)
+		return nil
+	}
+	started, ended, err := crawlExchange(ex, transport, opts, visit)
+	if err != nil {
+		return nil, err
+	}
+	out.Started, out.Ended = started, ended
+	if harb != nil {
+		out.HAR = harb.Log()
+	}
+	return out, nil
+}
+
+// CrawlExchangeStream surfs exactly like CrawlExchange but hands each
+// record to sink as it is produced instead of accumulating anything: no
+// record slice, no HAR (opts.CaptureHAR is ignored), so a crawl of any
+// length runs in O(1) memory. The *Record (including its Body) is only
+// valid for the duration of the sink call. Returns the virtual crawl
+// window.
+func CrawlExchangeStream(ex *exchange.Exchange, transport httpsim.RoundTripper, opts Options,
+	sink func(rec *Record) error) (started, ended time.Time, err error) {
+	return crawlExchange(ex, transport, opts, func(rec *Record, _ *httpsim.Result, _ time.Time) error {
+		return sink(rec)
+	})
+}
+
+// crawlExchange is the shared measurement loop: register, start a session,
+// surf opts.Steps URLs (solving CAPTCHAs, following redirects, retrying
+// transient faults on a virtual-clock backoff), and hand every record to
+// visit in sequence order.
+func crawlExchange(ex *exchange.Exchange, transport httpsim.RoundTripper, opts Options,
+	visit visitFunc) (started, ended time.Time, err error) {
 	if opts.Steps <= 0 {
-		return nil, errors.New("crawler: Steps must be positive")
+		return time.Time{}, time.Time{}, errors.New("crawler: Steps must be positive")
 	}
 	if _, err := ex.Register(opts.Account, opts.IP); err != nil {
-		return nil, fmt.Errorf("crawler: register on %s: %w", ex.Config().Name, err)
+		return time.Time{}, time.Time{}, fmt.Errorf("crawler: register on %s: %w", ex.Config().Name, err)
 	}
 	sess, err := ex.StartSession(opts.Account, opts.Steps)
 	if err != nil {
-		return nil, fmt.Errorf("crawler: session on %s: %w", ex.Config().Name, err)
+		return time.Time{}, time.Time{}, fmt.Errorf("crawler: session on %s: %w", ex.Config().Name, err)
 	}
 	defer ex.EndSession(opts.Account)
 
@@ -217,15 +272,7 @@ func CrawlExchange(ex *exchange.Exchange, transport httpsim.RoundTripper, opts O
 	case opts.FetchBudget == 0:
 		client.Budget = 15 * time.Second
 	}
-	out := &Crawl{
-		Exchange: ex.Config().Name,
-		Kind:     ex.Config().Kind,
-		Started:  opts.Start,
-	}
-	var harb *har.Builder
-	if opts.CaptureHAR {
-		harb = har.NewBuilder()
-	}
+	name := ex.Config().Name
 	clock := opts.Start
 
 	for i := 0; i < opts.Steps; i++ {
@@ -233,16 +280,16 @@ func CrawlExchange(ex *exchange.Exchange, transport httpsim.RoundTripper, opts O
 		// study solved them by hand, we solve them in code.
 		if c := sess.Challenge(); c != nil {
 			if !sess.Solve(c.ID, exchange.SolveChallenge(c)) {
-				return nil, fmt.Errorf("crawler: captcha rejected on %s", ex.Config().Name)
+				return time.Time{}, time.Time{}, fmt.Errorf("crawler: captcha rejected on %s", name)
 			}
 		}
 		step, err := sess.Next()
 		if err != nil {
-			return nil, fmt.Errorf("crawler: step %d on %s: %w", i, ex.Config().Name, err)
+			return time.Time{}, time.Time{}, fmt.Errorf("crawler: step %d on %s: %w", i, name, err)
 		}
 
 		rec := Record{
-			Exchange:  ex.Config().Name,
+			Exchange:  name,
 			Kind:      ex.Config().Kind,
 			Seq:       i,
 			Timestamp: clock,
@@ -253,7 +300,7 @@ func CrawlExchange(ex *exchange.Exchange, transport httpsim.RoundTripper, opts O
 		// this URL: the surf session continues, the failure is recorded,
 		// and the step's credit is still claimed below.
 		opts.Metrics.Counter("crawl.urls").Inc()
-		fetchSpan := opts.Tracer.Start(out.Exchange, obs.StageFetch)
+		fetchSpan := opts.Tracer.Start(name, obs.StageFetch)
 		var res *httpsim.Result
 		var ferr error
 		attempt := 1
@@ -273,6 +320,10 @@ func CrawlExchange(ex *exchange.Exchange, transport httpsim.RoundTripper, opts O
 		}
 		fetchSpan.End()
 		rec.Attempts = attempt
+
+		// pageClock is the virtual time the page load began — the HAR
+		// page timestamp, captured before hop latencies advance the clock.
+		pageClock := clock
 
 		if ferr != nil {
 			rec.FetchErr = ferr.Error()
@@ -303,27 +354,21 @@ func CrawlExchange(ex *exchange.Exchange, transport httpsim.RoundTripper, opts O
 			if opts.KeepBodies {
 				rec.Body = res.Final.Body
 			}
-			if harb != nil {
-				pid := harb.AddPage(step.URL, clock)
-				harb.AddResult(pid, BrowserUA, clock, res)
-			}
 			for _, hop := range res.Chain {
 				clock = clock.Add(hop.Latency)
 			}
 		}
-		out.Records = append(out.Records, rec)
+		if err := visit(&rec, res, pageClock); err != nil {
+			return time.Time{}, time.Time{}, err
+		}
 
 		// Dwell for the minimum surf time, then claim the credit.
 		clock = clock.Add(time.Duration(step.SurfSeconds) * time.Second)
 		if err := sess.Complete(step, step.SurfSeconds); err != nil {
-			return nil, fmt.Errorf("crawler: credit on %s: %w", ex.Config().Name, err)
+			return time.Time{}, time.Time{}, fmt.Errorf("crawler: credit on %s: %w", name, err)
 		}
 	}
-	out.Ended = clock
-	if harb != nil {
-		out.HAR = harb.Log()
-	}
-	return out, nil
+	return opts.Start, clock, nil
 }
 
 // CrawlAll measures every exchange with per-exchange step budgets,
@@ -341,10 +386,7 @@ func CrawlAll(exchanges []*exchange.Exchange, transport httpsim.RoundTripper, st
 	var wg sync.WaitGroup
 	for i, ex := range exchanges {
 		i, ex := i, ex
-		opts := base
-		opts.Steps = steps[i]
-		opts.Account = fmt.Sprintf("%s-%d", base.Account, i)
-		opts.IP = fmt.Sprintf("203.0.113.%d", 10+i)
+		opts := perExchangeOptions(base, i, steps[i])
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -360,4 +402,45 @@ func CrawlAll(exchanges []*exchange.Exchange, transport httpsim.RoundTripper, st
 		return nil, err
 	}
 	return out, nil
+}
+
+// CrawlAllStream measures every exchange concurrently, like CrawlAll, but
+// hands each record to sink as it is produced instead of accumulating
+// crawls: nothing is retained, so memory stays constant in the crawl
+// length. sink is called from one goroutine per exchange — concurrently
+// across exchanges, strictly in sequence order within one — and must be
+// safe for that pattern. Account and IP assignment per exchange is
+// identical to CrawlAll, so the record streams match batch crawls
+// byte for byte.
+func CrawlAllStream(exchanges []*exchange.Exchange, transport httpsim.RoundTripper, steps []int,
+	base Options, sink func(exIdx int, rec *Record) error) error {
+	if len(exchanges) != len(steps) {
+		return errors.New("crawler: exchanges/steps length mismatch")
+	}
+	errs := make([]error, len(exchanges))
+	var wg sync.WaitGroup
+	for i, ex := range exchanges {
+		i, ex := i, ex
+		opts := perExchangeOptions(base, i, steps[i])
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, errs[i] = CrawlExchangeStream(ex, transport, opts, func(rec *Record) error {
+				return sink(i, rec)
+			})
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// perExchangeOptions derives the i-th exchange's crawl options from the
+// base: its own step budget, account and IP. Shared by CrawlAll and
+// CrawlAllStream so both produce identical record streams.
+func perExchangeOptions(base Options, i, steps int) Options {
+	opts := base
+	opts.Steps = steps
+	opts.Account = fmt.Sprintf("%s-%d", base.Account, i)
+	opts.IP = fmt.Sprintf("203.0.113.%d", 10+i)
+	return opts
 }

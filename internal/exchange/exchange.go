@@ -50,6 +50,7 @@ var (
 	ErrNoSuchAccount   = errors.New("exchange: no such account")
 	ErrSuspended       = errors.New("exchange: account suspended")
 	ErrSurfTooShort    = errors.New("exchange: surf below minimum time, no credit")
+	ErrBadPlannedSteps = errors.New("exchange: planned steps must be positive")
 )
 
 // Config describes one exchange.
@@ -218,8 +219,13 @@ func (e *Exchange) Member(account string) (*Member, bool) {
 
 // StartSession opens a surf session for an account. A second concurrent
 // session suspends the account on strict exchanges (the Otohits
-// behaviour).
+// behaviour). plannedSteps must be positive: it is the denominator of the
+// session's progress ratio, so a zero-step session would carry NaN
+// progress into every densityAt window comparison.
 func (e *Exchange) StartSession(account string, plannedSteps int) (*Session, error) {
+	if plannedSteps <= 0 {
+		return nil, fmt.Errorf("%w, got %d", ErrBadPlannedSteps, plannedSteps)
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	m, ok := e.members[account]
@@ -237,7 +243,7 @@ func (e *Exchange) StartSession(account string, plannedSteps int) (*Session, err
 	s := &Session{
 		ex:      e,
 		member:  m,
-		planned: max(plannedSteps, 1),
+		planned: plannedSteps,
 		rng:     e.rng.Sub("session:" + account),
 	}
 	e.sessions[account] = s

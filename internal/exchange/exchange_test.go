@@ -465,3 +465,30 @@ func BenchmarkRotation(b *testing.B) {
 		}
 	}
 }
+
+// TestStartSessionRejectsNonPositivePlannedSteps is the regression test
+// for the zero-step session bug: planned steps is the denominator of the
+// session's progress ratio, so a session started with 0 (or negative)
+// steps would compute NaN progress, and NaN fails every densityAt window
+// comparison silently — the session would surf with the malicious-URL
+// windows effectively disabled. StartSession must refuse instead.
+func TestStartSessionRejectsNonPositivePlannedSteps(t *testing.T) {
+	u, pool := testSetup(t)
+	e := New(autoCfg(), pool, u.PopularURLs, simrand.New(1))
+	if _, err := e.Register("alice", "10.0.0.1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, planned := range []int{0, -1, -100} {
+		if _, err := e.StartSession("alice", planned); !errors.Is(err, ErrBadPlannedSteps) {
+			t.Errorf("StartSession(alice, %d): err = %v, want ErrBadPlannedSteps", planned, err)
+		}
+	}
+	// The rejection must not leave a half-open session behind.
+	s, err := e.StartSession("alice", 10)
+	if err != nil {
+		t.Fatalf("StartSession after rejected attempts: %v", err)
+	}
+	if _, err := s.Next(); err != nil {
+		t.Fatalf("Next on valid session: %v", err)
+	}
+}

@@ -21,6 +21,7 @@ package swf
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"math"
 )
 
@@ -163,9 +164,20 @@ func (sb *ScriptBuilder) Obfuscate(key byte) *ScriptBuilder {
 	return sb
 }
 
+// maxPoolStrings is the string-pool capacity: pool indices travel as
+// 16-bit little-endian operands in OpPushStr, so a pool can address at
+// most 65,536 distinct strings.
+const maxPoolStrings = 1 << 16
+
 func (sb *ScriptBuilder) intern(s string) uint16 {
 	if idx, ok := sb.poolIdx[s]; ok {
 		return idx
+	}
+	// Interning past the operand width would silently truncate the index
+	// and alias an earlier pool string — every OpPushStr of the new string
+	// would push the wrong value. Fail loudly instead.
+	if len(sb.pool) >= maxPoolStrings {
+		panic(fmt.Sprintf("swf: string pool full (%d strings): pool indices are uint16 and cannot address more", maxPoolStrings))
 	}
 	idx := uint16(len(sb.pool))
 	sb.pool = append(sb.pool, s)

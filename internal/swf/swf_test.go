@@ -1,6 +1,7 @@
 package swf
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -298,4 +299,28 @@ func BenchmarkInspect(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// TestInternPoolOverflowPanics is the regression test for the string-pool
+// index truncation bug: pool indices are 16-bit OpPushStr operands, and
+// interning entry 65,536 used to truncate uint16(65536) to 0 — every push
+// of the new string silently aliased pool entry 0. The pool must fail
+// loudly at the bound instead.
+func TestInternPoolOverflowPanics(t *testing.T) {
+	sb := NewScript()
+	for i := 0; i < maxPoolStrings; i++ {
+		sb.intern(fmt.Sprintf("str-%d", i))
+	}
+	if idx := sb.intern("str-0"); idx != 0 {
+		t.Fatalf("re-interning str-0 returned %d, want 0", idx)
+	}
+	if idx := sb.intern(fmt.Sprintf("str-%d", maxPoolStrings-1)); idx != maxPoolStrings-1 {
+		t.Fatalf("re-interning the last string returned %d, want %d", idx, maxPoolStrings-1)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("interning string 65,537 did not panic; a truncated index would alias pool entry 0")
+		}
+	}()
+	sb.intern("one-too-many")
 }
