@@ -1,0 +1,155 @@
+// Command benchguard compares `go test -bench` output against a committed
+// perf budget and exits non-zero when any guarded metric regresses beyond
+// the budget's tolerance.
+//
+// Usage:
+//
+//	go test -run='^$' -bench ... -benchmem . | tee bench.out
+//	benchguard -budget BENCH_5.json bench.out
+//
+// The budget file maps benchmark names to guarded metrics (unit -> maximum
+// value). Every guarded metric must appear in the bench output — a missing
+// benchmark is a failure, so a renamed or deleted benchmark cannot silently
+// retire its budget. Lower is better for every guarded unit (B/op,
+// allocs/op, alloc-B/record, ns/op).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type budgetFile struct {
+	TolerancePct float64                       `json:"tolerance_pct"`
+	Benchmarks   map[string]map[string]float64 `json:"benchmarks"`
+}
+
+// parseBench extracts benchmark -> unit -> value from go test -bench
+// output. Result lines look like:
+//
+//	BenchmarkName/sub-8   3   700988599 ns/op   4065 alloc-B/record   203840765 B/op
+//
+// i.e. the name, the iteration count, then (value, unit) pairs. Names are
+// kept verbatim; the GOMAXPROCS suffix is handled at lookup time, because
+// stripping it blindly would also truncate legitimate trailing digits in
+// sub-benchmark names (".../scale-20").
+func parseBench(r io.Reader) (map[string]map[string]float64, error) {
+	out := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		metrics := out[name]
+		if metrics == nil {
+			metrics = make(map[string]float64)
+			out[name] = metrics
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in line %q", fields[i], sc.Text())
+			}
+			metrics[fields[i+1]] = v
+		}
+	}
+	return out, sc.Err()
+}
+
+func run(budgetPath, benchPath string) error {
+	raw, err := os.ReadFile(budgetPath)
+	if err != nil {
+		return err
+	}
+	var budget budgetFile
+	if err := json.Unmarshal(raw, &budget); err != nil {
+		return fmt.Errorf("parse %s: %w", budgetPath, err)
+	}
+	if budget.TolerancePct <= 0 {
+		return fmt.Errorf("%s: tolerance_pct must be positive", budgetPath)
+	}
+
+	var in io.Reader = os.Stdin
+	if benchPath != "" && benchPath != "-" {
+		f, err := os.Open(benchPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	measured, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+
+	failures := 0
+	for name, limits := range budget.Benchmarks {
+		got, ok := lookup(measured, name)
+		if !ok {
+			fmt.Printf("FAIL  %s: benchmark missing from output\n", name)
+			failures++
+			continue
+		}
+		for unit, max := range limits {
+			v, ok := got[unit]
+			if !ok {
+				fmt.Printf("FAIL  %s %s: metric missing (run with -benchmem?)\n", name, unit)
+				failures++
+				continue
+			}
+			limit := max * (1 + budget.TolerancePct/100)
+			status := "ok  "
+			switch {
+			case v > limit:
+				status = "FAIL"
+				failures++
+			case v < max*(1-budget.TolerancePct/100):
+				// Well under budget: not a failure, but worth re-baselining
+				// so future regressions inside the slack are still caught.
+				status = "ok* " // * = consider tightening the budget
+			}
+			fmt.Printf("%s  %-55s %-16s %14.0f  (budget %14.0f, +%.0f%% tolerance)\n",
+				status, name, unit, v, max, budget.TolerancePct)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d perf budget violation(s)", failures)
+	}
+	return nil
+}
+
+// lookup finds the measured metrics for a budget name: exact match first,
+// then the name with a "-<GOMAXPROCS>" suffix appended by go test.
+func lookup(measured map[string]map[string]float64, name string) (map[string]float64, bool) {
+	if got, ok := measured[name]; ok {
+		return got, true
+	}
+	suffixed := regexp.MustCompile("^" + regexp.QuoteMeta(name) + `-\d+$`)
+	for k, got := range measured {
+		if suffixed.MatchString(k) {
+			return got, true
+		}
+	}
+	return nil, false
+}
+
+func main() {
+	budgetPath := flag.String("budget", "BENCH_5.json", "perf budget JSON file")
+	flag.Parse()
+	benchPath := flag.Arg(0)
+	if err := run(*budgetPath, benchPath); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStreamingStudy/scale-20-8         	       3	 700988599 ns/op	      4065 alloc-B/record	     50148 records/op	203840765 B/op	 2431146 allocs/op
+BenchmarkAnalyzeParallel/workers=1/cache=false         	       6	  50903181 ns/op	         0 %cache-hit	21359026 B/op	  137153 allocs/op
+PASS
+ok  	repro	21.297s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, ok := lookup(got, "BenchmarkStreamingStudy/scale-20")
+	if !ok {
+		t.Fatalf("GOMAXPROCS-suffixed name not found; have %v", got)
+	}
+	if ss["alloc-B/record"] != 4065 || ss["B/op"] != 203840765 {
+		t.Fatalf("scale-20 metrics = %v", ss)
+	}
+	// The suffix must not be confused with trailing digits of the
+	// sub-benchmark name itself.
+	if _, ok := lookup(got, "BenchmarkStreamingStudy/scale"); ok {
+		t.Fatal("scale-20 wrongly matched a scale budget")
+	}
+	ap := got["BenchmarkAnalyzeParallel/workers=1/cache=false"]
+	if ap["allocs/op"] != 137153 || ap["%cache-hit"] != 0 {
+		t.Fatalf("analyze metrics = %v", ap)
+	}
+}
+
+func writeFiles(t *testing.T, budget, bench string) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	bp := filepath.Join(dir, "budget.json")
+	fp := filepath.Join(dir, "bench.out")
+	if err := os.WriteFile(bp, []byte(budget), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fp, []byte(bench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return bp, fp
+}
+
+func TestRunWithinBudget(t *testing.T) {
+	budget := `{"tolerance_pct": 10, "benchmarks": {
+		"BenchmarkStreamingStudy/scale-20": {"alloc-B/record": 4000, "B/op": 200000000}
+	}}`
+	bp, fp := writeFiles(t, budget, sampleBench)
+	if err := run(bp, fp); err != nil {
+		t.Fatalf("within-tolerance run failed: %v", err)
+	}
+}
+
+func TestRunRegressionFails(t *testing.T) {
+	budget := `{"tolerance_pct": 10, "benchmarks": {
+		"BenchmarkStreamingStudy/scale-20": {"alloc-B/record": 3000}
+	}}`
+	bp, fp := writeFiles(t, budget, sampleBench)
+	if err := run(bp, fp); err == nil {
+		t.Fatal("4065 against a 3000 budget (+10%) must fail")
+	}
+}
+
+func TestRunMissingBenchmarkFails(t *testing.T) {
+	budget := `{"tolerance_pct": 10, "benchmarks": {
+		"BenchmarkGone": {"B/op": 1}
+	}}`
+	bp, fp := writeFiles(t, budget, sampleBench)
+	if err := run(bp, fp); err == nil {
+		t.Fatal("missing benchmark must fail so budgets cannot be silently retired")
+	}
+}
+
+func TestRunMissingMetricFails(t *testing.T) {
+	budget := `{"tolerance_pct": 10, "benchmarks": {
+		"BenchmarkStreamingStudy/scale-20": {"widgets/op": 5}
+	}}`
+	bp, fp := writeFiles(t, budget, sampleBench)
+	if err := run(bp, fp); err == nil {
+		t.Fatal("missing metric must fail")
+	}
+}
+
+func TestCommittedBudgetParses(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_5.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, fp := writeFiles(t, string(raw), sampleBench)
+	_ = fp
+	// The committed budget must be well-formed; the sample output predates
+	// the campaign for some metrics, so only check it loads and evaluates.
+	if err := run(bp, fp); err != nil && !strings.Contains(err.Error(), "violation") {
+		t.Fatalf("committed budget failed to evaluate: %v", err)
+	}
+}

@@ -13,7 +13,6 @@ package blacklist
 
 import (
 	"sort"
-	"strings"
 	"sync"
 
 	"repro/internal/simrand"
@@ -39,7 +38,7 @@ func (l *List) Name() string { return l.name }
 // Add inserts a registered domain (normalized to lowercase registered
 // domain before storage).
 func (l *List) Add(domain string) {
-	d := urlutil.RegisteredDomain(strings.ToLower(domain))
+	d := urlutil.RegisteredDomain(domain)
 	l.mu.Lock()
 	l.domains[d] = true
 	l.mu.Unlock()
@@ -48,7 +47,12 @@ func (l *List) Add(domain string) {
 // Contains reports whether the domain (or the registered domain of a
 // host) is listed.
 func (l *List) Contains(hostOrDomain string) bool {
-	d := urlutil.RegisteredDomain(strings.ToLower(hostOrDomain))
+	return l.containsDomain(urlutil.RegisteredDomain(hostOrDomain))
+}
+
+// containsDomain answers for an already-normalized registered domain —
+// the consensus paths normalize once and probe all six lists with it.
+func (l *List) containsDomain(d string) bool {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	return l.domains[d]
@@ -92,9 +96,10 @@ func (s *Set) Lists() []*List { return s.lists }
 // Matches returns the names of the lists containing the host's registered
 // domain.
 func (s *Set) Matches(hostOrDomain string) []string {
+	d := urlutil.RegisteredDomain(hostOrDomain)
 	var out []string
 	for _, l := range s.lists {
-		if l.Contains(hostOrDomain) {
+		if l.containsDomain(d) {
 			out = append(out, l.name)
 		}
 	}
@@ -103,9 +108,10 @@ func (s *Set) Matches(hostOrDomain string) []string {
 
 // Malicious applies the consensus rule: listed on >= Threshold lists.
 func (s *Set) Malicious(hostOrDomain string) bool {
+	d := urlutil.RegisteredDomain(hostOrDomain)
 	hits := 0
 	for _, l := range s.lists {
-		if l.Contains(hostOrDomain) {
+		if l.containsDomain(d) {
 			hits++
 			if hits >= s.Threshold {
 				return true

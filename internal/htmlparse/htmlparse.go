@@ -22,7 +22,9 @@ type Element struct {
 	// Tag is the lowercased tag name ("iframe", "script", ...).
 	Tag string
 	// Attrs maps lowercased attribute names to their (unquoted) values.
-	// Valueless attributes map to "".
+	// Valueless attributes map to "". The map is nil for attribute-less
+	// elements — reads stay safe, and most elements on real pages carry no
+	// attributes, so the parser skips the map allocation entirely.
 	Attrs map[string]string
 	// Text is the raw text between an element's open and close tag. It is
 	// only populated for HTML raw-text elements, whose content is not
@@ -124,8 +126,13 @@ func parseTag(src string, pos int) (Element, int, bool) {
 	}
 	el := Element{
 		Tag:    strings.ToLower(src[start:i]),
-		Attrs:  make(map[string]string),
 		Offset: pos,
+	}
+	setAttr := func(name, val string) {
+		if el.Attrs == nil {
+			el.Attrs = make(map[string]string, 4)
+		}
+		el.Attrs[name] = val
 	}
 	for i < n {
 		// Skip whitespace.
@@ -163,10 +170,10 @@ func parseTag(src string, pos int) (Element, int, bool) {
 				i++
 			}
 			val, next := parseAttrValue(src, i)
-			el.Attrs[name] = val
+			setAttr(name, val)
 			i = next
 		} else {
-			el.Attrs[name] = ""
+			setAttr(name, "")
 		}
 	}
 	return el, n, true

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/match"
 	"repro/internal/urlutil"
 )
 
@@ -235,7 +236,11 @@ func (c *Client) Get(url, userAgent, referrer string) (*Result, error) {
 // callers account for partial chains.
 func (c *Client) Do(url, userAgent, referrer string, attempt int) (*Result, error) {
 	res := &Result{}
-	seen := make(map[string]bool)
+	// Loop detection needs the set of prior hop URLs; single-hop fetches —
+	// the overwhelming majority — never need the map, so allocate it only
+	// once a redirect is actually followed.
+	var seen map[string]bool
+	first := ""
 	current := url
 	ref := referrer
 	maxHops := c.MaxHops
@@ -248,10 +253,17 @@ func (c *Client) Do(url, userAgent, referrer string, attempt int) (*Result, erro
 		if err != nil {
 			return res, fmt.Errorf("%w: %v", ErrBadURL, err)
 		}
-		if seen[norm] {
-			return res, fmt.Errorf("%w: %s", ErrRedirectLoop, norm)
+		if hop == 0 {
+			first = norm
+		} else {
+			if seen == nil {
+				seen = map[string]bool{first: true}
+			}
+			if seen[norm] {
+				return res, fmt.Errorf("%w: %s", ErrRedirectLoop, norm)
+			}
+			seen[norm] = true
 		}
-		seen[norm] = true
 
 		resp, err := c.transport.RoundTrip(&Request{URL: current, UserAgent: userAgent, Referrer: ref, Attempt: attempt})
 		if err != nil {
@@ -299,7 +311,7 @@ func (c *Client) Do(url, userAgent, referrer string, attempt int) (*Result, erro
 }
 
 func isHTML(contentType string) bool {
-	return strings.HasPrefix(strings.ToLower(contentType), "text/html")
+	return match.HasPrefixFold(contentType, "text/html")
 }
 
 // resolveRef resolves target against base: absolute URLs pass through,
@@ -363,9 +375,14 @@ func MovedPermanently(location string) *Response {
 	return &Response{StatusCode: 301, Location: location, ContentType: "text/html"}
 }
 
+// notFoundBody is shared across all 404s; response bodies are read-only
+// throughout the stack (the fault injector copies the struct and truncates
+// by reslicing), so sharing the bytes is safe.
+var notFoundBody = []byte("<html><body>404</body></html>")
+
 // NotFound returns a 404.
 func NotFound() *Response {
-	return &Response{StatusCode: 404, ContentType: "text/html", Body: []byte("<html><body>404</body></html>")}
+	return &Response{StatusCode: 404, ContentType: "text/html", Body: notFoundBody}
 }
 
 // Binary returns a 200 with the given content type, used for executable

@@ -51,7 +51,10 @@ func StaticScan(src string) StaticReport {
 		Entropy:       Entropy(src),
 		EscapeDensity: escapeDensity(src),
 	}
-	toks := lex(src)
+	tp := borrowToks()
+	defer returnToks(tp)
+	toks := lexInto(src, *tp)
+	*tp = toks
 	for i, t := range toks {
 		switch t.kind {
 		case tokIdent:

@@ -22,6 +22,7 @@ package jsengine
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 type tokenKind int
@@ -46,11 +47,34 @@ type lexer struct {
 	toks []token
 }
 
+// tokScratch recycles token slices. Every analyzed script body is lexed
+// twice (static scan, then sandbox parse) and the tokens are dead as soon
+// as each pass returns, so the slices — the lexer's dominant allocation —
+// can be reused across scripts and goroutines.
+var tokScratch = sync.Pool{New: func() any {
+	s := make([]token, 0, 512)
+	return &s
+}}
+
+func borrowToks() *[]token { return tokScratch.Get().(*[]token) }
+
+func returnToks(p *[]token) {
+	clear(*p) // drop string references so the pool never pins page bodies
+	*p = (*p)[:0]
+	tokScratch.Put(p)
+}
+
 // lex tokenizes src. It is forgiving: unknown bytes are skipped so that the
 // analyzer never chokes on exotic malware text; the parser decides what is
 // usable.
 func lex(src string) []token {
-	l := &lexer{src: src}
+	return lexInto(src, nil)
+}
+
+// lexInto is lex writing into a reusable scratch slice (reset to length
+// zero first).
+func lexInto(src string, scratch []token) []token {
+	l := &lexer{src: src, toks: scratch[:0]}
 	for l.pos < len(l.src) {
 		c := l.src[l.pos]
 		switch {

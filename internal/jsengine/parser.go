@@ -161,7 +161,12 @@ const maxTokens = 200000
 
 // parseProgram parses src into a statement list.
 func parseProgram(src string) ([]node, error) {
-	toks := lex(src)
+	// The AST copies out token text (strings); the token structs themselves
+	// die with the parser, so the slice goes back to the pool on return.
+	tp := borrowToks()
+	defer returnToks(tp)
+	toks := lexInto(src, *tp)
+	*tp = toks
 	if len(toks) > maxTokens {
 		return nil, errTooComplex
 	}

@@ -1,0 +1,322 @@
+package match
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// ids runs a MatchInto over body and returns the sorted ID set.
+func ids(t *testing.T, a *Automaton, body string) []int {
+	t.Helper()
+	got := a.MatchStringInto(nil, body)
+	// Byte and string paths must agree.
+	alt := a.MatchInto(nil, []byte(body))
+	sort.Ints(got)
+	sort.Ints(alt)
+	if len(got) != len(alt) {
+		t.Fatalf("MatchStringInto=%v MatchInto=%v disagree on %q", got, alt, body)
+	}
+	for i := range got {
+		if got[i] != alt[i] {
+			t.Fatalf("MatchStringInto=%v MatchInto=%v disagree on %q", got, alt, body)
+		}
+	}
+	return got
+}
+
+func wantIDs(t *testing.T, a *Automaton, body string, want ...int) {
+	t.Helper()
+	got := ids(t, a, body)
+	if len(want) == 0 {
+		want = []int{}
+	}
+	sort.Ints(want)
+	if len(got) != len(want) {
+		t.Fatalf("match(%q) = %v, want %v", body, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("match(%q) = %v, want %v", body, got, want)
+		}
+	}
+	if wantHit := len(want) > 0; a.ContainsString(body) != wantHit {
+		t.Fatalf("ContainsString(%q) = %v, want %v", body, !wantHit, wantHit)
+	}
+}
+
+func TestOverlappingPatterns(t *testing.T) {
+	// "he", "she", "his", "hers" — the canonical Aho–Corasick set where
+	// one occurrence ends inside another and failure links carry outputs.
+	a := MustCompile([]string{"he", "she", "his", "hers"})
+	wantIDs(t, a, "ushers", 0, 1, 3) // "she" ends at 4, "he" inside it, "hers" at 6
+	wantIDs(t, a, "his", 2)
+	wantIDs(t, a, "hers he", 0, 3)
+	wantIDs(t, a, "xyz")
+}
+
+func TestPrefixSuffixPatterns(t *testing.T) {
+	// Patterns that are strict prefixes/suffixes of each other must all
+	// report on the longer occurrence.
+	a := MustCompile([]string{"foo", "foobar", "bar", "obarx"})
+	wantIDs(t, a, "foobarx", 0, 1, 2, 3)
+	wantIDs(t, a, "foo", 0)
+	wantIDs(t, a, "fobar", 2)
+	wantIDs(t, a, "xfoox", 0)
+}
+
+func TestEmptyPatternRejected(t *testing.T) {
+	if _, err := Compile([]string{"ok", ""}); !errors.Is(err, ErrEmptyPattern) {
+		t.Fatalf("Compile with empty pattern: err = %v, want ErrEmptyPattern", err)
+	}
+	if _, err := CompileFold([]string{""}); !errors.Is(err, ErrEmptyPattern) {
+		t.Fatalf("CompileFold with empty pattern: err = %v, want ErrEmptyPattern", err)
+	}
+}
+
+func TestEmptyPatternSet(t *testing.T) {
+	a := MustCompile(nil)
+	wantIDs(t, a, "anything at all")
+	if a.NumPatterns() != 0 {
+		t.Fatalf("NumPatterns = %d, want 0", a.NumPatterns())
+	}
+}
+
+func TestDuplicatePatterns(t *testing.T) {
+	a := MustCompile([]string{"dup", "dup"})
+	wantIDs(t, a, "a dup here", 0, 1)
+}
+
+func TestNonASCIIBytes(t *testing.T) {
+	// High bytes must match exactly, and folding must leave them alone
+	// (0xC0..0xDF would be corrupted by a naive |0x20 fold).
+	a := MustCompile([]string{"\xc3\x89tat", "\xff\xfe", "caf\xc3\xa9"})
+	wantIDs(t, a, "l'\xc3\x89tat au caf\xc3\xa9", 0, 2)
+	wantIDs(t, a, "bom:\xff\xfe!", 1)
+
+	f := MustCompileFold([]string{"caf\xc3\xa9"})
+	wantIDs(t, f, "CAF\xc3\xa9", 0)
+	// The high byte itself must NOT fold: 0xC3 != 0xE3.
+	wantIDs(t, f, "CAF\xe3\xa9")
+}
+
+func TestFoldMatching(t *testing.T) {
+	a := MustCompileFold([]string{"<iframe", "Dialer.W32"})
+	wantIDs(t, a, "x<IFrAmE src=", 0)
+	wantIDs(t, a, "DIALER.w32", 1)
+	wantIDs(t, a, "dialer-w32") // '.' does not fold to '-'
+	// Exact-mode automaton stays case-sensitive.
+	e := MustCompile([]string{"Dialer.W32"})
+	wantIDs(t, e, "dialer.w32")
+	wantIDs(t, e, "Dialer.W32", 0)
+}
+
+func TestMatchAtBoundaries(t *testing.T) {
+	a := MustCompile([]string{"start", "end"})
+	wantIDs(t, a, "start...end", 0, 1)
+	wantIDs(t, a, "start", 0)
+	wantIDs(t, a, "end", 1)
+}
+
+func TestDedupAcrossOccurrences(t *testing.T) {
+	a := MustCompile([]string{"ab"})
+	got := a.MatchStringInto(nil, "ab ab ab")
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("match = %v, want exactly one ID 0", got)
+	}
+}
+
+func TestMatchIntoReusesDst(t *testing.T) {
+	a := MustCompile([]string{"x", "y"})
+	buf := make([]int, 0, 8)
+	got := a.MatchStringInto(buf, "x")
+	if len(got) != 1 || &got[:1][0] != &buf[:1][0] {
+		t.Fatalf("MatchStringInto did not append into the provided buffer")
+	}
+}
+
+func TestStreamChunkBoundaries(t *testing.T) {
+	a := MustCompileFold([]string{"needle", "ee", "haystack"})
+	body := "a NEEDLE in a HayStack"
+	want := ids(t, a, body)
+
+	// Every possible split point must yield the same match set.
+	for cut := 0; cut <= len(body); cut++ {
+		st := a.Stream()
+		got := st.FeedString(nil, body[:cut])
+		got = st.Feed(got, []byte(body[cut:]))
+		sort.Ints(got)
+		if len(got) != len(want) {
+			t.Fatalf("cut %d: stream = %v, want %v", cut, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("cut %d: stream = %v, want %v", cut, got, want)
+			}
+		}
+	}
+
+	// One-byte-at-a-time delivery and Reset.
+	st := a.Stream()
+	var got []int
+	for i := 0; i < len(body); i++ {
+		got = st.FeedString(got, body[i:i+1])
+	}
+	sort.Ints(got)
+	if len(got) != len(want) {
+		t.Fatalf("byte-wise stream = %v, want %v", got, want)
+	}
+	st.Reset()
+	if out := st.FeedString(nil, "dle"); len(out) != 0 {
+		t.Fatalf("after Reset, residual state matched: %v", out)
+	}
+}
+
+func TestPatternAccessors(t *testing.T) {
+	a := MustCompileFold([]string{"Alpha", "beta"})
+	if a.NumPatterns() != 2 || a.Pattern(0) != "Alpha" || a.Pattern(1) != "beta" {
+		t.Fatalf("accessors: n=%d p0=%q p1=%q", a.NumPatterns(), a.Pattern(0), a.Pattern(1))
+	}
+	if !a.Fold() {
+		t.Fatal("Fold() = false for CompileFold automaton")
+	}
+}
+
+func TestFoldHelpers(t *testing.T) {
+	if IndexFold("xxAbCyy", "abc") != 2 {
+		t.Fatalf("IndexFold basic: got %d", IndexFold("xxAbCyy", "abc"))
+	}
+	if IndexFold("abc", "") != 0 {
+		t.Fatal("IndexFold empty needle should be 0")
+	}
+	if IndexFold("ab", "abc") != -1 {
+		t.Fatal("IndexFold needle longer than haystack should be -1")
+	}
+	if !ContainsFold([]byte("<IFRAME"), "<iframe") {
+		t.Fatal("ContainsFold over []byte failed")
+	}
+	if ContainsFold("if rame", "iframe") {
+		t.Fatal("ContainsFold false positive")
+	}
+	if !HasPrefixFold("Content-Type", "content-") || HasPrefixFold("Con", "content") {
+		t.Fatal("HasPrefixFold wrong")
+	}
+	if !HasSuffixFold("movie.SWF", ".swf") || HasSuffixFold("swf", ".swf") {
+		t.Fatal("HasSuffixFold wrong")
+	}
+	// Fold behavior must track strings.ToLower for ASCII inputs.
+	for c := 0; c < 256; c++ {
+		want := strings.ToLower(string(rune(byte(c))))
+		if byte(c) < 0x80 && string(FoldByte(byte(c))) != want {
+			t.Fatalf("FoldByte(%#x) = %#x, want %q", c, FoldByte(byte(c)), want)
+		}
+		if byte(c) >= 0x80 && FoldByte(byte(c)) != byte(c) {
+			t.Fatalf("FoldByte(%#x) must be identity for non-ASCII", c)
+		}
+	}
+}
+
+// asciiLower folds only ASCII uppercase, byte for byte. This is the fold
+// the automaton implements; strings.ToLower is NOT equivalent on arbitrary
+// bytes (it rewrites invalid UTF-8 to U+FFFD, making distinct raw bytes
+// spuriously "equal" — see the checked-in d39a1b9c crasher seed).
+func asciiLower(s string) string {
+	b := []byte(s)
+	for i := range b {
+		b[i] = FoldByte(b[i])
+	}
+	return string(b)
+}
+
+// naiveMatch is the oracle: per-pattern strings.Contains over (optionally)
+// case-folded copies — exactly the code the automaton replaced.
+func naiveMatch(patterns []string, body string, fold bool) []int {
+	h := body
+	if fold {
+		h = asciiLower(body)
+	}
+	var out []int
+	for id, p := range patterns {
+		n := p
+		if fold {
+			n = asciiLower(p)
+		}
+		if strings.Contains(h, n) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func TestAgainstNaiveOracle(t *testing.T) {
+	cases := []struct {
+		patterns []string
+		bodies   []string
+	}{
+		{
+			patterns: []string{"a", "aa", "aaa", "aaaa"},
+			bodies:   []string{"", "a", "aa", "aaa", "aaaaa", "baab"},
+		},
+		{
+			patterns: []string{"abab", "bab", "ab"},
+			bodies:   []string{"ababab", "abab", "xbabx"},
+		},
+		{
+			patterns: []string{"Eval(", "unescape", "document.write", "<IFRAME"},
+			bodies: []string{
+				"document.write(unescape('%3CiFrAmE'))",
+				"eval(eVAL(EVAL(",
+				"<ifram <iframe",
+			},
+		},
+	}
+	for _, tc := range cases {
+		for _, fold := range []bool{false, true} {
+			a, err := compile(tc.patterns, fold)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, body := range tc.bodies {
+				want := naiveMatch(tc.patterns, body, fold)
+				got := ids(t, a, body)
+				if len(got) != len(want) {
+					t.Fatalf("fold=%v patterns=%q body=%q: got %v want %v",
+						fold, tc.patterns, body, got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("fold=%v patterns=%q body=%q: got %v want %v",
+							fold, tc.patterns, body, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkMatchVsNaive(b *testing.B) {
+	patterns := make([]string, 0, 64)
+	for i := 0; i < 64; i++ {
+		patterns = append(patterns, "token-"+strings.Repeat("x", i%7+2)+string(rune('a'+i%26)))
+	}
+	body := strings.Repeat("the quick brown fox token-xxb jumps over the lazy dog ", 40)
+	a := MustCompile(patterns)
+	b.Run("automaton", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(body)))
+		var buf [8]int
+		for i := 0; i < b.N; i++ {
+			_ = a.MatchStringInto(buf[:0], body)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(body)))
+		for i := 0; i < b.N; i++ {
+			for _, p := range patterns {
+				_ = strings.Contains(body, p)
+			}
+		}
+	})
+}

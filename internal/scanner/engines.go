@@ -3,8 +3,10 @@ package scanner
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/httpsim"
+	"repro/internal/match"
 	"repro/internal/obs"
 	"repro/internal/simrand"
 	"repro/internal/urlutil"
@@ -20,6 +22,13 @@ type Engine struct {
 	tokenSigs  map[string]string
 	fpRate     float64
 	fpSeed     uint64
+
+	// tokenAuto, when set, matches every token signature in one pass
+	// over the body; tokenList maps its pattern IDs back to tokens. Only
+	// standalone engines (WeakTool) compile one — MultiEngine members
+	// answer from the shared union automaton instead.
+	tokenAuto *match.Automaton
+	tokenList []string
 }
 
 // Detection is one engine's positive verdict.
@@ -35,15 +44,32 @@ func (e *Engine) scanContent(url string, content []byte) (Detection, bool) {
 			return Detection{Engine: e.Name, Label: label}, true
 		}
 	}
-	body := string(content)
-	for token, label := range e.tokenSigs {
-		if strings.Contains(body, token) {
-			return Detection{Engine: e.Name, Label: label}, true
+	if e.tokenAuto != nil {
+		// One automaton pass instead of a per-token body sweep. The
+		// lowest pattern ID wins, making the reported label the first
+		// token in sorted order (the map-iteration original was
+		// nondeterministic here; only the boolean was contractual).
+		var buf [4]int
+		if ids := e.tokenAuto.MatchInto(buf[:0], content); len(ids) > 0 {
+			minID := ids[0]
+			for _, id := range ids[1:] {
+				if id < minID {
+					minID = id
+				}
+			}
+			return Detection{Engine: e.Name, Label: e.tokenSigs[e.tokenList[minID]]}, true
+		}
+	} else {
+		body := string(content)
+		for token, label := range e.tokenSigs {
+			if strings.Contains(body, token) {
+				return Detection{Engine: e.Name, Label: label}, true
+			}
 		}
 	}
 	// Deterministic pseudo-random false positive on analytics-like
 	// content, mirroring the Faceliker misdetection of §V-E.
-	if e.fpRate > 0 && strings.Contains(body, "analytics.js") {
+	if e.fpRate > 0 && strings.Contains(string(content), "analytics.js") {
 		if hash01(e.fpSeed, url) < e.fpRate {
 			return Detection{Engine: e.Name, Label: LabelFaceliker}, true
 		}
@@ -112,6 +138,9 @@ type MultiEngine struct {
 	// dominate full-crawl analysis otherwise).
 	allTokens  []string
 	allDomains map[string]bool
+	// tokenAuto matches all union tokens — plus the analytics FP trigger
+	// as the final pattern ID — in a single pass over the body.
+	tokenAuto *match.Automaton
 }
 
 // MultiEngineConfig tunes NewMultiEngine.
@@ -172,19 +201,42 @@ func NewMultiEngine(rng *simrand.Source, feed *ThreatFeed, cfg MultiEngineConfig
 	for _, tok := range tokens {
 		m.allTokens = append(m.allTokens, tok[0])
 	}
+	pats := make([]string, 0, len(m.allTokens)+1)
+	pats = append(pats, m.allTokens...)
+	pats = append(pats, "analytics.js") // sentinel ID len(allTokens): the FP trigger
+	m.tokenAuto = match.MustCompile(pats)
 	return m
 }
 
+// idScratch pools the tiny pattern-ID buffers matchBody collects into, so
+// concurrent scans stay allocation-free on the (overwhelmingly common)
+// zero- and one-match bodies.
+var idScratch = sync.Pool{New: func() any { s := make([]int, 0, 16); return &s }}
+
 // matchBody returns which union tokens appear in the body (usually zero
-// or one) plus whether the body carries the analytics FP trigger.
+// or one) plus whether the body carries the analytics FP trigger. One
+// automaton pass replaces the former per-token strings.Contains sweep and
+// its string(content) copy; IDs are sorted ascending so matched keeps the
+// sorted-token order ScanFile's first-match-wins label choice relies on.
 func (m *MultiEngine) matchBody(content []byte) (matched []string, analytics bool) {
-	body := string(content)
-	for _, tok := range m.allTokens {
-		if strings.Contains(body, tok) {
-			matched = append(matched, tok)
+	scratch := idScratch.Get().(*[]int)
+	ids := m.tokenAuto.MatchInto((*scratch)[:0], content)
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
 		}
 	}
-	return matched, strings.Contains(body, "analytics.js")
+	analyticsID := len(m.allTokens)
+	for _, id := range ids {
+		if id == analyticsID {
+			analytics = true
+		} else {
+			matched = append(matched, m.allTokens[id])
+		}
+	}
+	*scratch = ids
+	idScratch.Put(scratch)
+	return matched, analytics
 }
 
 // ScanFile scans supplied content (the "download pages to local storage

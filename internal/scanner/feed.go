@@ -16,7 +16,6 @@ package scanner
 
 import (
 	"sort"
-	"strings"
 	"sync"
 
 	"repro/internal/urlutil"
@@ -62,7 +61,7 @@ func NewThreatFeed() *ThreatFeed {
 // AddDomain registers a known-bad domain with its family label.
 func (f *ThreatFeed) AddDomain(domain, label string) {
 	f.mu.Lock()
-	f.badDomains[urlutil.RegisteredDomain(strings.ToLower(domain))] = label
+	f.badDomains[urlutil.RegisteredDomain(domain)] = label
 	f.mu.Unlock()
 }
 
@@ -77,10 +76,13 @@ func (f *ThreatFeed) AddToken(token, label string) {
 }
 
 // DomainLabel returns the family label for a registered domain, if listed.
+// Keys are normalized at insert time, so the lookup only computes the
+// registered domain — allocation-free for the already-lowercase hosts the
+// crawl produces (RegisteredDomain folds case itself when it must).
 func (f *ThreatFeed) DomainLabel(domain string) (string, bool) {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	l, ok := f.badDomains[urlutil.RegisteredDomain(strings.ToLower(domain))]
+	l, ok := f.badDomains[urlutil.RegisteredDomain(domain)]
 	return l, ok
 }
 

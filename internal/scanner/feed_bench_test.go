@@ -1,0 +1,30 @@
+package scanner
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkFeedLookup measures the DomainLabel hot path. Before the
+// allocation fix it cost two string copies per call (ToLower plus the
+// Split/Join inside RegisteredDomain); now a lookup on an already-
+// lowercase host is allocation-free.
+func BenchmarkFeedLookup(b *testing.B) {
+	feed := NewThreatFeed()
+	for i := 0; i < 500; i++ {
+		feed.AddDomain(fmt.Sprintf("bad%03d.example%d.com", i, i%7), LabelScrInject)
+	}
+	hosts := []string{
+		"www.bad001.example1.com", // hit, subdomain
+		"bad002.example2.com",     // hit, exact
+		"shop.clean-site.co.uk",   // miss, multi-label suffix
+		"cdn.benign.net",          // miss
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, h := range hosts {
+			_, _ = feed.DomainLabel(h)
+		}
+	}
+}

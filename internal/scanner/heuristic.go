@@ -6,6 +6,7 @@ import (
 	"repro/internal/htmlparse"
 	"repro/internal/httpsim"
 	"repro/internal/jsengine"
+	"repro/internal/match"
 	"repro/internal/pdf"
 	"repro/internal/swf"
 	"repro/internal/urlutil"
@@ -94,13 +95,12 @@ func (f *Findings) Malicious() bool {
 // ScanPage analyzes one fetched response body.
 func (h *Heuristic) ScanPage(url, contentType string, body []byte) *Findings {
 	f := &Findings{URL: url}
-	ct := strings.ToLower(contentType)
 	switch {
-	case strings.Contains(ct, "javascript"):
+	case match.ContainsFold(contentType, "javascript"):
 		h.scanScript(f, url, string(body))
-	case strings.Contains(ct, "shockwave") || strings.Contains(ct, "x-swf"):
+	case match.ContainsFold(contentType, "shockwave") || match.ContainsFold(contentType, "x-swf"):
 		h.scanFlash(f, body)
-	case strings.Contains(ct, "pdf"):
+	case match.ContainsFold(contentType, "pdf"):
 		h.scanPDF(f, url, body)
 	default:
 		h.scanHTML(f, url, string(body))
@@ -165,7 +165,7 @@ func (h *Heuristic) scanHTML(f *Findings, url, body string) {
 			if src == "" {
 				src = el.Attrs["data"]
 			}
-			if src == "" || !strings.HasSuffix(strings.ToLower(src), ".swf") {
+			if src == "" || !match.HasSuffixFold(src, ".swf") {
 				continue
 			}
 			resp, err := h.ResourceFetcher.RoundTrip(&httpsim.Request{
@@ -182,7 +182,7 @@ func (h *Heuristic) scanHTML(f *Findings, url, body string) {
 			if fetched >= h.MaxResources {
 				break
 			}
-			if !strings.HasSuffix(strings.ToLower(stripQuery(href)), ".pdf") {
+			if !match.HasSuffixFold(stripQuery(href), ".pdf") {
 				continue
 			}
 			resp, err := h.ResourceFetcher.RoundTrip(&httpsim.Request{
@@ -224,7 +224,7 @@ func (h *Heuristic) scanScript(f *Findings, pageURL, src string) {
 	if tr == nil {
 		// Static-only mode: visible markup writes and location sets are
 		// the only JS injection evidence available.
-		if static.WritesMarkup && strings.Contains(strings.ToLower(src), "<iframe") {
+		if static.WritesMarkup && match.ContainsFold(src, "<iframe") {
 			if why, found := staticIframeStringHidden(src); found {
 				f.HiddenIframes = append(f.HiddenIframes, IframeFinding{Hidden: why, Injected: true})
 				f.Labels = append(f.Labels, LabelScrInject)
@@ -349,8 +349,7 @@ func iframeHidden(el htmlparse.Element) (string, bool) {
 // literal (static mode cannot execute document.write, but the literal
 // itself may show the geometry).
 func staticIframeStringHidden(src string) (string, bool) {
-	lower := strings.ToLower(src)
-	idx := strings.Index(lower, "<iframe")
+	idx := match.IndexFold(src, "<iframe")
 	if idx < 0 {
 		return "", false
 	}
@@ -370,9 +369,8 @@ func staticIframeStringHidden(src string) (string, bool) {
 // isBenignHiddenIframe whitelists the OAuth postmessage relay pattern that
 // §V-E documents as a false positive.
 func isBenignHiddenIframe(src string) bool {
-	lower := strings.ToLower(src)
-	return strings.Contains(lower, "/o/oauth2/postmessagerelay") ||
-		strings.Contains(lower, "accounts.google")
+	return match.ContainsFold(src, "/o/oauth2/postmessagerelay") ||
+		match.ContainsFold(src, "accounts.google")
 }
 
 // deceptiveDownloadMarkup detects the fake install-prompt scaffolding of
@@ -380,11 +378,11 @@ func isBenignHiddenIframe(src string) bool {
 // an executable download.
 func deceptiveDownloadMarkup(doc *htmlparse.Document) bool {
 	for _, el := range doc.ByTag("a") {
-		href := strings.ToLower(el.Attrs["href"])
-		dataHref := strings.ToLower(el.Attrs["data-dm-href"])
+		href := el.Attrs["href"]
+		dataHref := el.Attrs["data-dm-href"]
 		bait := el.Attrs["data-dm-title"] != "" || strings.Contains(el.Attrs["class"], "download_link")
-		executable := strings.HasPrefix(href, "data:text/html") ||
-			strings.Contains(href, ".exe") || strings.Contains(dataHref, "download")
+		executable := match.HasPrefixFold(href, "data:text/html") ||
+			match.ContainsFold(href, ".exe") || match.ContainsFold(dataHref, "download")
 		if bait && executable {
 			return true
 		}

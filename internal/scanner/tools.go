@@ -2,6 +2,8 @@ package scanner
 
 import (
 	"sort"
+
+	"repro/internal/match"
 )
 
 // Tool is the common interface of every malware detection service the
@@ -69,6 +71,10 @@ func NewWeakTool(name string, feed *ThreatFeed, coverage float64, seed uint64) *
 	}
 	for _, tok := range feed.tokenEntries() {
 		e.tokenSigs[tok[0]] = tok[1]
+		e.tokenList = append(e.tokenList, tok[0])
+	}
+	if len(e.tokenList) > 0 {
+		e.tokenAuto = match.MustCompile(e.tokenList)
 	}
 	return &WeakTool{name: name, coverage: coverage, engine: e, seed: seed}
 }

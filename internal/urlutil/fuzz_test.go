@@ -97,5 +97,91 @@ func FuzzSplit(f *testing.F) {
 		if again := RegisteredDomain(rd); again != rd {
 			t.Fatalf("RegisteredDomain not idempotent: %q -> %q -> %q", host, rd, again)
 		}
+		// Differential: the dot-scan implementations must agree with the
+		// original Split/Join formulation they replaced.
+		if want := naiveRegisteredDomain(host); rd != want {
+			t.Fatalf("RegisteredDomain(%q) = %q, naive oracle %q", host, rd, want)
+		}
+		if want := naiveTLD(host); tld != want {
+			t.Fatalf("TLD(%q) = %q, naive oracle %q", host, tld, want)
+		}
+	})
+}
+
+// naiveRegisteredDomain is the pre-optimization Split/Join implementation,
+// kept as the oracle for FuzzSplit.
+func naiveRegisteredDomain(host string) string {
+	host = strings.ToLower(strings.TrimRight(host, "."))
+	labels := strings.Split(host, ".")
+	if len(labels) <= 2 {
+		return host
+	}
+	for take := 3; take >= 2; take-- {
+		if take >= len(labels) {
+			continue
+		}
+		if multiLabelSuffixes[strings.Join(labels[len(labels)-take:], ".")] {
+			return strings.Join(labels[len(labels)-take-1:], ".")
+		}
+	}
+	return strings.Join(labels[len(labels)-2:], ".")
+}
+
+// naiveTLD is the pre-optimization TLD, kept as the oracle for FuzzSplit.
+func naiveTLD(host string) string {
+	host = strings.ToLower(strings.TrimRight(host, "."))
+	labels := strings.Split(host, ".")
+	if len(labels) == 1 {
+		return host
+	}
+	for take := 3; take >= 2; take-- {
+		if take >= len(labels) {
+			continue
+		}
+		suffix := strings.Join(labels[len(labels)-take:], ".")
+		if multiLabelSuffixes[suffix] {
+			return suffix
+		}
+	}
+	return labels[len(labels)-1]
+}
+
+// FuzzParseFast pins the fast-path parser to the net/url slow path: on any
+// input the fast path accepts, every Parsed field must be identical to
+// what parseSlow produces, and when it claims the input is canonical,
+// Parsed.String() must reproduce the input byte for byte. (Inputs the fast
+// path declines are the slow path's by construction — nothing to check.)
+func FuzzParseFast(f *testing.F) {
+	for _, seed := range []string{
+		"http://example.com/",
+		"http://example.com",
+		"https://sub.example.co.uk:8443/a/b.js?x=1&y=2",
+		"http://example.com:80/dropped-default-port",
+		"http://example.com/path#frag",
+		"http://example.com?bare-query",
+		"http://example.com/?",
+		"http://example.com/%41",
+		"http://EXAMPLE.com/upper-host",
+		"http://host/path with space",
+		"http://host:0x50/",
+		"http://host/a?b#c?d#e",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		fast, canonical, ok := parseFast(raw)
+		if !ok {
+			return
+		}
+		slow, err := parseSlow(raw)
+		if err != nil {
+			t.Fatalf("parseFast accepted %q but parseSlow rejects it: %v", raw, err)
+		}
+		if fast != slow {
+			t.Fatalf("parseFast(%q) = %+v, parseSlow = %+v", raw, fast, slow)
+		}
+		if canonical && fast.String() != raw {
+			t.Fatalf("parseFast(%q) claims canonical but String() = %q", raw, fast.String())
+		}
 	})
 }

@@ -13,6 +13,8 @@ import (
 	"net/url"
 	"sort"
 	"strings"
+
+	"repro/internal/match"
 )
 
 // multiLabelSuffixes lists public suffixes that span two labels. The real
@@ -52,7 +54,116 @@ type Parsed struct {
 // Parse parses and normalizes a URL. Scheme-less inputs like
 // "example.com/x" are treated as http. It returns an error for inputs that
 // have no usable host.
+//
+// Clean absolute URLs (the only kind the simulator generates, and the
+// overwhelming majority of any crawl frontier) take an allocation-free
+// fast path; anything unusual — percent escapes, uppercase, exotic
+// punctuation, missing scheme — falls through to net/url so edge-case and
+// error semantics are exactly net/url's.
 func Parse(raw string) (Parsed, error) {
+	if p, _, ok := parseFast(raw); ok {
+		return p, nil
+	}
+	return parseSlow(raw)
+}
+
+// pathSafeByte marks path bytes that net/url's EscapedPath is guaranteed
+// to hand back verbatim (no escaping, no unescaping). Deliberately a
+// subset of what RFC 3986 allows unescaped: anything outside it takes the
+// slow path rather than risking a divergence.
+var pathSafeByte = func() (t [256]bool) {
+	for c := 'a'; c <= 'z'; c++ {
+		t[c] = true
+	}
+	for c := 'A'; c <= 'Z'; c++ {
+		t[c] = true
+	}
+	for c := '0'; c <= '9'; c++ {
+		t[c] = true
+	}
+	for _, c := range []byte("-_.~$&+,/:;=@") {
+		t[c] = true
+	}
+	return
+}()
+
+// parseFast recognizes scheme://host[:port][/path][?query][#fragment]
+// built from unambiguous bytes only. It never reports an error: on any
+// doubt it returns ok=false and the caller retries with parseSlow, keeping
+// accept/reject behavior and error text identical to the net/url path.
+// canonical reports whether raw is already in Normalize's output form
+// (letting Normalize return its input with zero allocations).
+func parseFast(raw string) (p Parsed, canonical, ok bool) {
+	var rest string
+	switch {
+	case strings.HasPrefix(raw, "http://"):
+		p.Scheme, rest = "http", raw[7:]
+	case strings.HasPrefix(raw, "https://"):
+		p.Scheme, rest = "https", raw[8:]
+	default:
+		return Parsed{}, false, false
+	}
+	// One unusual byte anywhere (spaces, controls, '%', non-ASCII) and
+	// the slow path owns the input.
+	for i := 0; i < len(rest); i++ {
+		if c := rest[i]; c <= 0x20 || c >= 0x7f || c == '%' {
+			return Parsed{}, false, false
+		}
+	}
+
+	hostEnd := len(rest)
+	for i := 0; i < len(rest); i++ {
+		if c := rest[i]; c == '/' || c == '?' || c == '#' {
+			hostEnd = i
+			break
+		}
+	}
+	auth := rest[:hostEnd]
+	p.Host = auth
+	if ci := strings.IndexByte(auth, ':'); ci >= 0 {
+		p.Host, p.Port = auth[:ci], auth[ci+1:]
+		if p.Port == "" {
+			return Parsed{}, false, false
+		}
+		for i := 0; i < len(p.Port); i++ {
+			if c := p.Port[i]; c < '0' || c > '9' {
+				return Parsed{}, false, false
+			}
+		}
+	}
+	// validHost only admits lowercase letters, so mixed-case hosts fall
+	// through to the slow path's ToLower rather than being rejected here.
+	if p.Host == "" || !validHost(p.Host) {
+		return Parsed{}, false, false
+	}
+
+	rest = rest[hostEnd:]
+	hadFrag := false
+	if hi := strings.IndexByte(rest, '#'); hi >= 0 {
+		p.Fragment, rest, hadFrag = rest[hi+1:], rest[:hi], true
+	}
+	hadQuery := false
+	if qi := strings.IndexByte(rest, '?'); qi >= 0 {
+		p.Query, rest, hadQuery = rest[qi+1:], rest[:qi], true
+	}
+	p.Path = "/"
+	if rest != "" {
+		for i := 0; i < len(rest); i++ {
+			if !pathSafeByte[rest[i]] {
+				return Parsed{}, false, false
+			}
+		}
+		p.Path = rest
+	}
+	p.Raw = raw
+	canonical = !hadFrag &&
+		rest != "" && // path spelled out in raw
+		!(hadQuery && p.Query == "") && // bare trailing '?' is elided
+		!(p.Port != "" && isDefaultPort(p.Scheme, p.Port))
+	return p, canonical, true
+}
+
+func parseSlow(raw string) (Parsed, error) {
 	trimmed := strings.TrimSpace(raw)
 	if trimmed == "" {
 		return Parsed{}, fmt.Errorf("urlutil: empty URL")
@@ -95,7 +206,13 @@ func Parse(raw string) (Parsed, error) {
 // dropped. Two URLs that normalize identically are "the same URL" for the
 // distinct-URL statistics in Table I.
 func Normalize(raw string) (string, error) {
-	p, err := Parse(raw)
+	if p, canonical, ok := parseFast(raw); ok {
+		if canonical {
+			return raw, nil // already normalized: hand the input back as-is
+		}
+		return p.String(), nil
+	}
+	p, err := parseSlow(raw)
 	if err != nil {
 		return "", err
 	}
@@ -155,42 +272,68 @@ func isDefaultPort(scheme, port string) bool {
 // as esy.es and atw.hu, are ordinary registered domains under their ccTLD,
 // matching how Table II counts them. A host that is itself a bare public
 // suffix is returned unchanged.
+// RegisteredDomain is called once per URL per blacklist/feed consultation,
+// so it works by slicing between dot positions instead of Split/Join —
+// already-lowercase input (every host the simulator emits) costs zero
+// allocations.
 func RegisteredDomain(host string) string {
-	host = strings.ToLower(strings.TrimRight(host, "."))
-	labels := strings.Split(host, ".")
-	if len(labels) <= 2 {
+	host = lowerTrimDots(host)
+	// Positions of the last four dots; -1 sentinels make "the whole
+	// host" fall out of the same slicing expressions below.
+	d := [4]int{-1, -1, -1, -1}
+	nd := 0
+	for i := len(host) - 1; i >= 0 && nd < 4; i-- {
+		if host[i] == '.' {
+			d[nd] = i
+			nd++
+		}
+	}
+	if nd <= 1 { // two labels or fewer: already a registrable domain
 		return host
 	}
-	// Check multi-label public suffixes, longest first.
-	for take := 3; take >= 2; take-- {
-		if take >= len(labels) {
-			continue
-		}
-		suffix := strings.Join(labels[len(labels)-take:], ".")
-		if multiLabelSuffixes[suffix] {
-			return strings.Join(labels[len(labels)-take-1:], ".")
-		}
+	// Multi-label public suffixes, longest (three-label) first. A map
+	// probe with a sliced key does not allocate.
+	if nd >= 3 && multiLabelSuffixes[host[d[2]+1:]] {
+		return host[d[3]+1:]
 	}
-	return strings.Join(labels[len(labels)-2:], ".")
+	if multiLabelSuffixes[host[d[1]+1:]] {
+		return host[d[2]+1:]
+	}
+	return host[d[1]+1:]
 }
 
 // TLD returns the final public-suffix of a host (e.g. "com", "co.uk").
 func TLD(host string) string {
-	host = strings.ToLower(strings.TrimRight(host, "."))
-	labels := strings.Split(host, ".")
-	if len(labels) == 1 {
+	host = lowerTrimDots(host)
+	d := [3]int{-1, -1, -1}
+	nd := 0
+	for i := len(host) - 1; i >= 0 && nd < 3; i-- {
+		if host[i] == '.' {
+			d[nd] = i
+			nd++
+		}
+	}
+	if nd == 0 {
 		return host
 	}
-	for take := 3; take >= 2; take-- {
-		if take >= len(labels) {
-			continue
-		}
-		suffix := strings.Join(labels[len(labels)-take:], ".")
-		if multiLabelSuffixes[suffix] {
-			return suffix
-		}
+	if nd >= 3 && multiLabelSuffixes[host[d[2]+1:]] {
+		return host[d[2]+1:]
 	}
-	return labels[len(labels)-1]
+	if nd >= 2 && multiLabelSuffixes[host[d[1]+1:]] {
+		return host[d[1]+1:]
+	}
+	return host[d[0]+1:]
+}
+
+// lowerTrimDots strips trailing dots and lowercases. strings.ToLower
+// returns its input unchanged (no copy) when nothing folds, which is the
+// normal case; it is kept (rather than an ASCII fold) so arbitrary-byte
+// hosts keep their historical Unicode-folding behavior.
+func lowerTrimDots(host string) string {
+	for len(host) > 0 && host[len(host)-1] == '.' {
+		host = host[:len(host)-1]
+	}
+	return strings.ToLower(host)
 }
 
 // DomainOf is a convenience: parse raw and return its registered domain,
@@ -230,7 +373,9 @@ func HasExtension(raw, ext string) bool {
 	if err != nil {
 		return false
 	}
-	return strings.HasSuffix(strings.ToLower(p.Path), "."+strings.ToLower(ext))
+	return len(p.Path) > len(ext) &&
+		p.Path[len(p.Path)-len(ext)-1] == '.' &&
+		match.HasSuffixFold(p.Path, ext)
 }
 
 // Dedupe returns the distinct normalized URLs of the input, preserving

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"net/url"
 	"strings"
+	"sync"
 
 	"repro/internal/blacklist"
 	"repro/internal/htmlparse"
 	"repro/internal/httpsim"
+	"repro/internal/match"
 	"repro/internal/pdf"
 	"repro/internal/scanner"
 	"repro/internal/shortener"
@@ -249,13 +251,71 @@ func (u *Universe) addSite(s *Site) {
 	u.siteByDomain[urlutil.RegisteredDomain(s.Host)] = s
 }
 
+// pageCache memoizes a site's rendered responses. Every handler derives a
+// fresh per-(host, path) rng per request, so a response is a pure function
+// of (site, path, bot-variant): the first render's bytes are every
+// render's bytes. Rendering — rng seeding, word generation, string
+// building — dominated the whole pipeline's CPU and allocation profile
+// before memoization; a cache hit is two map probes and one small struct
+// copy. The cache stores immutable templates and hands each request a
+// fresh shallow copy, because the transport stamps per-request fields
+// (Latency, default ContentType) onto the returned struct; bodies are
+// shared, which is safe — nothing in the stack mutates body bytes (the
+// fault injector degrades a copy and truncates by reslicing).
+type pageCache struct {
+	limit int
+	mu    sync.RWMutex
+	user  map[string]*httpsim.Response
+	bot   map[string]*httpsim.Response
+}
+
+func newPageCache(limit int) *pageCache {
+	return &pageCache{
+		limit: limit,
+		user:  make(map[string]*httpsim.Response),
+		bot:   make(map[string]*httpsim.Response),
+	}
+}
+
+// serve returns the memoized response for (key, bot), rendering and
+// (capacity permitting) caching on miss. Renders are deterministic, so a
+// concurrent double-render produces identical bytes and either copy may
+// win the insert race.
+func (c *pageCache) serve(key string, bot bool, render func() *httpsim.Response) *httpsim.Response {
+	m := c.user
+	if bot {
+		m = c.bot
+	}
+	c.mu.RLock()
+	tmpl := m[key]
+	c.mu.RUnlock()
+	if tmpl == nil {
+		tmpl = render()
+		c.mu.Lock()
+		if cached, ok := m[key]; ok {
+			tmpl = cached
+		} else if len(m) < c.limit {
+			m[key] = tmpl
+		}
+		c.mu.Unlock()
+	}
+	out := *tmpl
+	return &out
+}
+
+// sitePageCacheLimit bounds per-site caches. Sites serve at most a
+// handful of fixed pages; the limit only matters for Redirector hosts,
+// which answer on any path.
+const sitePageCacheLimit = 128
+
 // registerSiteHandlers installs an httpsim handler per site.
 func (u *Universe) registerSiteHandlers(rng *simrand.Source, ctx renderCtx) {
 	bridges := u.bridgeHosts()
 	for _, site := range u.Sites {
 		s := site
+		cache := newPageCache(sitePageCacheLimit)
 		u.Internet.Register(s.Host, func(req *httpsim.Request) *httpsim.Response {
-			return u.serveSite(s, req, rng, ctx, bridges)
+			return u.serveSite(s, req, rng, ctx, bridges, cache)
 		})
 		if s.Kind == Redirector {
 			u.registerLandingHost(s, rng, ctx)
@@ -263,40 +323,43 @@ func (u *Universe) registerSiteHandlers(rng *simrand.Source, ctx renderCtx) {
 	}
 }
 
-func (u *Universe) serveSite(s *Site, req *httpsim.Request, rng *simrand.Source, ctx renderCtx, bridges []string) *httpsim.Response {
+func (u *Universe) serveSite(s *Site, req *httpsim.Request, rng *simrand.Source, ctx renderCtx, bridges []string, cache *pageCache) *httpsim.Response {
 	p, err := urlutil.Parse(req.URL)
 	if err != nil {
 		return httpsim.NotFound()
 	}
 	path := p.Path
 	if s.HasBrochure && path == "/brochure.pdf" {
-		return httpsim.Binary("application/pdf", pdf.NewBuilder().Encode())
+		return cache.serve(path, false, func() *httpsim.Response {
+			return httpsim.Binary("application/pdf", pdf.NewBuilder().Encode())
+		})
 	}
 	if !containsPath(s.Pages, path) && s.Kind != Redirector {
 		return httpsim.NotFound()
 	}
-	// Deterministic per-page randomness, independent of request order.
-	pageRng := rng.Sub("page:" + s.Host + path)
-
-	if s.Cloaked && looksLikeScannerBot(req.UserAgent) {
-		return httpsim.HTML(cleanVariant(s, path, pageRng))
-	}
-
-	switch s.Kind {
-	case Benign:
-		return httpsim.HTML(renderBenignPage(s, path, pageRng))
-	case Blacklisted:
-		return httpsim.HTML(renderBlacklistedPage(s, path, pageRng, ctx))
-	case MaliciousJS:
-		return httpsim.HTML(renderJSMalwarePage(s, path, pageRng, ctx))
-	case MaliciousFlash:
-		return httpsim.HTML(renderFlashMalwarePage(s, path, pageRng, ctx))
-	case Miscellaneous, ShortenedMalicious:
-		return httpsim.HTML(renderMiscMalwarePage(s, path, pageRng))
-	case Redirector:
-		return u.serveRedirectorHop(s, bridges, pageRng)
-	}
-	return httpsim.NotFound()
+	bot := s.Cloaked && looksLikeScannerBot(req.UserAgent)
+	return cache.serve(path, bot, func() *httpsim.Response {
+		// Deterministic per-page randomness, independent of request order.
+		pageRng := rng.Sub("page:" + s.Host + path)
+		if bot {
+			return httpsim.HTML(cleanVariant(s, path, pageRng))
+		}
+		switch s.Kind {
+		case Benign:
+			return httpsim.HTML(renderBenignPage(s, path, pageRng))
+		case Blacklisted:
+			return httpsim.HTML(renderBlacklistedPage(s, path, pageRng, ctx))
+		case MaliciousJS:
+			return httpsim.HTML(renderJSMalwarePage(s, path, pageRng, ctx))
+		case MaliciousFlash:
+			return httpsim.HTML(renderFlashMalwarePage(s, path, pageRng, ctx))
+		case Miscellaneous, ShortenedMalicious:
+			return httpsim.HTML(renderMiscMalwarePage(s, path, pageRng))
+		case Redirector:
+			return u.serveRedirectorHop(s, bridges, pageRng)
+		}
+		return httpsim.NotFound()
+	})
 }
 
 // serveRedirectorHop begins the site's redirect chain: the entry 302s to
@@ -328,8 +391,16 @@ func landingHostFor(s *Site) string {
 func (u *Universe) registerLandingHost(s *Site, rng *simrand.Source, ctx renderCtx) {
 	host := landingHostFor(s)
 	pageRng := rng.Sub("landing:" + host)
+	// The landing page ignores the request entirely, so render once on
+	// first hit and serve copies of the template after that.
+	var once sync.Once
+	var tmpl *httpsim.Response
 	u.Internet.Register(host, func(req *httpsim.Request) *httpsim.Response {
-		return httpsim.HTML(renderLandingPage(s, pageRng, ctx))
+		once.Do(func() {
+			tmpl = httpsim.HTML(renderLandingPage(s, pageRng, ctx))
+		})
+		out := *tmpl
+		return &out
 	})
 	u.truthByDomain[urlutil.RegisteredDomain(host)] = Redirector
 }
@@ -344,9 +415,18 @@ func containsPath(pages []string, p string) bool {
 }
 
 func looksLikeScannerBot(ua string) bool {
-	lower := strings.ToLower(ua)
-	return strings.Contains(lower, "bot") || strings.Contains(lower, "scanner") ||
-		strings.Contains(lower, "crawler") || ua == ""
+	return match.ContainsFold(ua, "bot") || match.ContainsFold(ua, "scanner") ||
+		match.ContainsFold(ua, "crawler") || ua == ""
+}
+
+// static wraps a prebuilt response template as a handler. Each request
+// gets a fresh struct copy — the transport stamps per-request fields onto
+// the returned response — sharing the immutable body bytes.
+func static(tmpl *httpsim.Response) httpsim.Handler {
+	return func(*httpsim.Request) *httpsim.Response {
+		out := *tmpl
+		return &out
+	}
 }
 
 // --- infrastructure ---
@@ -370,16 +450,12 @@ func (u *Universe) registerInfrastructure(rng *simrand.Source) renderCtx {
 	}
 
 	// Payload host: the content hidden iframes load.
-	u.Internet.Register(ctx.payloadHost, func(req *httpsim.Request) *httpsim.Response {
-		return httpsim.HTML(`<html><body><script>var qz_dropper_stage2 = 1;</script></body></html>`)
-	})
+	u.Internet.Register(ctx.payloadHost, static(httpsim.HTML(`<html><body><script>var qz_dropper_stage2 = 1;</script></body></html>`)))
 	u.truthByDomain[urlutil.RegisteredDomain(ctx.payloadHost)] = Miscellaneous
 
 	// Bogus ad network (the visadd.com analog the paper saw across most
 	// exchanges).
-	u.Internet.Register(ctx.adHost, func(req *httpsim.Request) *httpsim.Response {
-		return httpsim.HTML(`<html><body><a href="http://` + ctx.dropHost + `/get?f=offer.exe">WIN BIG</a><script>var va_net_beacon = 1;</script></body></html>`)
-	})
+	u.Internet.Register(ctx.adHost, static(httpsim.HTML(`<html><body><a href="http://`+ctx.dropHost+`/get?f=offer.exe">WIN BIG</a><script>var va_net_beacon = 1;</script></body></html>`)))
 	u.truthByDomain[urlutil.RegisteredDomain(ctx.adHost)] = Blacklisted
 
 	// Executable dropper; also serves the exploit document (an
@@ -389,43 +465,52 @@ func (u *Universe) registerInfrastructure(rng *simrand.Source) renderCtx {
 		AddJavaScriptAction(`window.location.href = "http://` + ctx.dropHost + `/c?downloadAs=Reader-Update.exe"; var yf_dropper_payload = 1;`).
 		BreakXref().
 		Encode()
+	pdfResp := httpsim.Binary("application/pdf", exploitPDF)
+	exeResp := httpsim.Binary("application/octet-stream",
+		append([]byte("MZ\x90\x00"), []byte("yf_dropper_payload Flash-Player.exe simulation")...))
 	u.Internet.Register(ctx.dropHost, func(req *httpsim.Request) *httpsim.Response {
+		tmpl := exeResp
 		if strings.Contains(req.URL, ".pdf") {
-			return httpsim.Binary("application/pdf", exploitPDF)
+			tmpl = pdfResp
 		}
-		body := append([]byte("MZ\x90\x00"), []byte("yf_dropper_payload Flash-Player.exe simulation")...)
-		return httpsim.Binary("application/octet-stream", body)
+		out := *tmpl
+		return &out
 	})
 	u.truthByDomain[urlutil.RegisteredDomain(ctx.dropHost)] = Miscellaneous
 
 	// SWF CDN: serves an AdFlash movie for any /swf/*.swf path.
 	swfRng := rng.Sub("swf")
-	movie := buildAdFlashMovie(swfRng)
+	swfResp := httpsim.Flash(buildAdFlashMovie(swfRng))
 	u.Internet.Register(ctx.swfHost, func(req *httpsim.Request) *httpsim.Response {
 		if strings.Contains(req.URL, ".swf") {
-			return httpsim.Flash(movie)
+			out := *swfResp
+			return &out
 		}
 		return httpsim.NotFound()
 	})
 
 	// Redirect bridges: parse ?next= and forward by 302 or meta refresh.
-	for _, bridge := range u.bridgeHosts() {
-		u.Internet.Register(bridge, bridgeHandler)
-		u.truthByDomain[urlutil.RegisteredDomain(bridge)] = Redirector
+	// Bridge responses are pure functions of the request URL, so one
+	// bounded cache serves all six bridge hosts.
+	bridgeCache := newPageCache(4096)
+	bridge := func(req *httpsim.Request) *httpsim.Response {
+		return bridgeCache.serve(req.URL, false, func() *httpsim.Response {
+			return bridgeRespond(req)
+		})
+	}
+	for _, b := range u.bridgeHosts() {
+		u.Internet.Register(b, bridge)
+		u.truthByDomain[urlutil.RegisteredDomain(b)] = Redirector
 	}
 
 	// Benign infrastructure.
-	u.Internet.Register(ctx.analyticsHost, func(req *httpsim.Request) *httpsim.Response {
-		return httpsim.Script(`var ga = function() {}; /* simalytics loader */`)
-	})
-	u.Internet.Register(ctx.oauthHost, func(req *httpsim.Request) *httpsim.Response {
-		return httpsim.HTML(`<html><body><script>var relay = "postmessage";</script></body></html>`)
-	})
+	u.Internet.Register(ctx.analyticsHost, static(httpsim.Script(`var ga = function() {}; /* simalytics loader */`)))
+	u.Internet.Register(ctx.oauthHost, static(httpsim.HTML(`<html><body><script>var relay = "postmessage";</script></body></html>`)))
 	return ctx
 }
 
-// bridgeHandler forwards ?next= targets, by meta refresh when ?kind=meta.
-func bridgeHandler(req *httpsim.Request) *httpsim.Response {
+// bridgeRespond forwards ?next= targets, by meta refresh when ?kind=meta.
+func bridgeRespond(req *httpsim.Request) *httpsim.Response {
 	p, err := urlutil.Parse(req.URL)
 	if err != nil {
 		return httpsim.NotFound()
@@ -459,9 +544,8 @@ func (u *Universe) registerPopularSites(rng *simrand.Source) {
 	}
 	for _, p := range popular {
 		host := p.host
-		u.Internet.Register(host, func(req *httpsim.Request) *httpsim.Response {
-			return httpsim.HTML(fmt.Sprintf("<html><head><title>%s</title></head><body><h1>%s</h1></body></html>", host, host))
-		})
+		u.Internet.Register(host, static(httpsim.HTML(
+			fmt.Sprintf("<html><head><title>%s</title></head><body><h1>%s</h1></body></html>", host, host))))
 		u.PopularHosts[host] = true
 		u.truthByDomain[urlutil.RegisteredDomain(host)] = Benign
 		for _, path := range p.paths {
@@ -560,7 +644,12 @@ func labelForKind(k MaliceKind, v JSVariant) string {
 }
 
 // MetaRefreshTarget is the HTML-aware meta-refresh extractor clients plug
-// into httpsim.Client.
+// into httpsim.Client. A meta refresh requires a literal http-equiv
+// attribute in the source, so the one-pass scan skips the full parse for
+// the overwhelming majority of pages that cannot contain one.
 func MetaRefreshTarget(body []byte) string {
+	if !match.ContainsFold(body, "http-equiv") {
+		return ""
+	}
 	return htmlparse.Parse(string(body)).MetaRefresh()
 }
