@@ -376,6 +376,28 @@ func BenchmarkAblationSandbox(b *testing.B) {
 	}
 }
 
+// BenchmarkExecuteHostile runs the full bomb corpus through the budgeted
+// sandbox. Every script trips a structured code; the benchmark guards the
+// cost of the worst case the production path can hit — a page whose
+// script burns its entire budget before the verdict lands.
+func BenchmarkExecuteHostile(b *testing.B) {
+	scripts := web.HostileScripts()
+	budget := jsengine.DefaultBudget()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The whole corpus per op: B/op and allocs/op are then
+		// independent of b.N, which is what lets benchguard hold them
+		// to a fixed budget.
+		for _, hs := range scripts {
+			_, err := jsengine.ExecuteBudget(hs.Src, budget)
+			if _, ok := jsengine.CodeOf(err); !ok {
+				b.Fatalf("%s: no structured code (err %v)", hs.Name, err)
+			}
+		}
+	}
+}
+
 // BenchmarkAblationNesting measures shortened-URL chain resolution as the
 // nesting depth grows — the evasion §IV-A-5 describes.
 func BenchmarkAblationNesting(b *testing.B) {

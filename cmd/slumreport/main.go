@@ -5,7 +5,7 @@
 // Usage:
 //
 //	slumreport [-seed N] [-scale N] [-workers N] [-faults PROFILE] [-retries N] [-table N] [-figure N] [-metrics]
-//	           [-stream] [-checkpoint FILE] [-resume] [-checkpoint-every N]
+//	           [-js-fuel N] [-js-heap N] [-stream] [-checkpoint FILE] [-resume] [-checkpoint-every N]
 //
 // With no -table/-figure selection, everything is printed. -scale divides
 // the paper's crawl volumes (default 20: ~50k URLs, seconds of runtime;
@@ -60,6 +60,8 @@ func run(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "analysis worker pool size (0 = all CPUs)")
 	faults := fs.String("faults", "", "crawl fault profile: "+strings.Join(httpsim.ProfileNames(), ", "))
 	retries := fs.Int("retries", 2, "crawl retries per URL after the first attempt")
+	jsFuel := fs.Int64("js-fuel", 0, "JS sandbox fuel budget per script (0 = default)")
+	jsHeap := fs.Int64("js-heap", 0, "JS sandbox heap budget in bytes per script (0 = default)")
 	table := fs.Int("table", 0, "print only this table (1-4)")
 	figure := fs.Int("figure", 0, "print only this figure (2, 3, 5, 6, 7)")
 	asJSON := fs.Bool("json", false, "emit every table and figure as JSON")
@@ -86,6 +88,8 @@ func run(args []string, out io.Writer) error {
 	cfg.Workers = *workers
 	cfg.FaultProfile = *faults
 	cfg.Retries = *retries
+	cfg.JSFuel = *jsFuel
+	cfg.JSHeapBytes = *jsHeap
 	if *withMetrics {
 		cfg.Metrics = obs.NewRegistry()
 		cfg.Tracer = obs.NewTracer()

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	slumscan -in dataset.jsonl [-seed N] [-scale N] [-table N] [-figure N] [-metrics]
+//	slumscan -in dataset.jsonl [-seed N] [-scale N] [-js-fuel N] [-js-heap N] [-table N] [-figure N] [-metrics]
 package main
 
 import (
@@ -74,6 +74,8 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "seed the dataset was crawled with")
 	scale := fs.Int("scale", 20, "scale the dataset was crawled with")
 	workers := fs.Int("workers", 0, "analysis worker pool size (0 = all CPUs)")
+	jsFuel := fs.Int64("js-fuel", 0, "JS sandbox fuel budget per script (0 = default)")
+	jsHeap := fs.Int64("js-heap", 0, "JS sandbox heap budget in bytes per script (0 = default)")
 	table := fs.Int("table", 0, "print only this table (1-4)")
 	figure := fs.Int("figure", 0, "print only this figure (2, 3, 5, 6, 7)")
 	withMetrics := fs.Bool("metrics", false, "instrument the scan and append a METRICS section")
@@ -105,6 +107,8 @@ func run(args []string) error {
 	cfg.Scale = *scale
 	cfg.Workers = *workers
 	cfg.DriveShortenerTraffic = false // the crawl already drove it
+	cfg.JSFuel = *jsFuel
+	cfg.JSHeapBytes = *jsHeap
 	if *withMetrics {
 		cfg.Metrics = obs.NewRegistry()
 		cfg.Tracer = obs.NewTracer()

@@ -14,6 +14,7 @@ import (
 	"repro/internal/blacklist"
 	"repro/internal/crawler"
 	"repro/internal/httpsim"
+	"repro/internal/jsengine"
 	"repro/internal/scanner"
 	"repro/internal/shortener"
 	"repro/internal/simrand"
@@ -138,6 +139,9 @@ type DetectorConfig struct {
 	// Engines overrides the fleet configuration; zero value uses the
 	// default 60-engine calibration.
 	Engines scanner.MultiEngineConfig
+	// JSBudget bounds each heuristic-scanner sandbox execution. Unset
+	// fields fall back to jsengine.DefaultBudget.
+	JSBudget jsengine.Budget
 }
 
 // NewDetector assembles the full stack: a multi-engine scanner over the
@@ -156,6 +160,7 @@ func NewDetector(feed *scanner.ThreatFeed, lists *blacklist.Set, shorteners *sho
 	multi.Fetcher = network
 	heur := scanner.NewHeuristic()
 	heur.ResourceFetcher = network
+	heur.Budget = cfg.JSBudget
 	return &Detector{
 		Multi:        multi,
 		Heur:         heur,
@@ -235,7 +240,7 @@ func (d *Detector) categorize(rec crawler.Record, v Verdict, blacklisted bool) C
 			return CatFlash
 		}
 		if len(h.HiddenIframes) > 0 || h.ObfuscatedJS || h.DeceptiveDownload ||
-			len(h.Redirections) > 0 || h.Popups > 0 {
+			len(h.Redirections) > 0 || h.Popups > 0 || len(h.SandboxTripped) > 0 {
 			return CatJavaScript
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/crawler"
 	"repro/internal/exchange"
 	"repro/internal/httpsim"
+	"repro/internal/jsengine"
 	"repro/internal/obs"
 	"repro/internal/simrand"
 	"repro/internal/web"
@@ -44,6 +45,11 @@ type StudyConfig struct {
 	// Retries bounds the crawler's per-URL re-fetch attempts after
 	// retryable failures.
 	Retries int
+	// JSFuel and JSHeapBytes bound each heuristic-scanner sandbox
+	// execution (fuel units and interned heap bytes). Zero or negative
+	// values fall back to jsengine.DefaultBudget.
+	JSFuel      int64
+	JSHeapBytes int64
 	// Metrics and Tracer, when set, receive the observability stream from
 	// every layer of the run (crawler, pipeline, scanner, fault injector,
 	// study-level phase timings). Nil (the default) disables all
@@ -135,7 +141,10 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 	}
 
 	st.Detector = NewDetector(universe.Feed, universe.Blacklists, universe.Shorteners,
-		universe.Internet, DetectorConfig{Seed: cfg.Seed + 1})
+		universe.Internet, DetectorConfig{
+			Seed:     cfg.Seed + 1,
+			JSBudget: jsengine.Budget{Fuel: cfg.JSFuel, HeapBytes: cfg.JSHeapBytes},
+		})
 	st.Analyzer = &Analyzer{
 		Classifier:   st.BuildClassifier(),
 		Detector:     st.Detector,
@@ -145,6 +154,7 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 		Tracer:       cfg.Tracer,
 	}
 	st.Detector.Multi.Metrics = cfg.Metrics
+	st.Detector.Heur.Metrics = cfg.Metrics
 	return st, nil
 }
 

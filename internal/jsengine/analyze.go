@@ -180,8 +180,10 @@ type Report struct {
 	// Trace is the sandbox behaviour trace; nil when sandboxing was
 	// disabled or the script was rejected as too complex.
 	Trace *Trace
-	// SandboxErr records a non-fatal execution problem (step limit, eval
-	// depth, parse failure). The partial trace, if any, is still valid.
+	// SandboxErr records a non-fatal execution problem. It is always a
+	// *SandboxError (match with CodeOf): resource codes mean the script
+	// outran its budget, EVAL_ERROR covers parse and evaluation
+	// failures. The partial trace, if any, is still valid.
 	SandboxErr error
 }
 
@@ -190,6 +192,9 @@ type Options struct {
 	// Sandbox enables dynamic execution. The ablation benchmarks run
 	// with it off to quantify what static-only scanning misses.
 	Sandbox bool
+	// Budget bounds the execution. Unset (non-positive) fields fall back
+	// to DefaultBudget, so the zero value is the production budget.
+	Budget Budget
 }
 
 // Analyze runs static scanning and, if requested, sandbox execution.
@@ -198,7 +203,7 @@ func Analyze(src string, opts Options) Report {
 	if !opts.Sandbox {
 		return rep
 	}
-	trace, err := Execute(src)
+	trace, err := ExecuteBudget(src, opts.Budget.withDefaults())
 	rep.Trace = trace
 	rep.SandboxErr = err
 	return rep

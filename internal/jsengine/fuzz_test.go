@@ -1,0 +1,105 @@
+package jsengine
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fuzzBudget maps raw fuzz integers onto a valid (small, varied) budget.
+// Wall is deliberately zero: execution is pure fuel/heap/output-bounded,
+// so both runs of the determinism check see the same world.
+func fuzzBudget(fuel, heap, out uint32, depth uint8) Budget {
+	return Budget{
+		Fuel:        int64(fuel % 200_000),
+		HeapBytes:   int64(heap % (1 << 22)),
+		OutputBytes: int64(out % (1 << 20)),
+		EvalDepth:   int(depth % 32),
+		Wall:        0,
+	}
+}
+
+// FuzzSandboxTermination is the sandbox's core proof obligation: for ANY
+// source and ANY budget, ExecuteBudget terminates with either success or
+// a structured code — never a panic, never a hang (the fuel budget is the
+// termination oracle: charging is monotone, so bounded fuel means bounded
+// work) — and is deterministic for the (src, budget) pair.
+func FuzzSandboxTermination(f *testing.F) {
+	for _, src := range []string{
+		"",
+		"var x = 1;",
+		"var i = 0; while (true) { i = i + 1; }",
+		"try { while (true) { } } catch (e) { while (true) { } }",
+		`var s = "aaaaaaaa"; while (true) { s = s + s; }`,
+		"var a = []; a[100000000] = 1;",
+		`var i = 0; while (i >= 0) { document.write("xxxxxxxxxx"); i = i + 1; }`,
+		`function f() { eval("f()"); } f();`,
+		`eval(unescape("document.write%281%29"));`,
+		`function f(n) { return f(n + 1); } f(0);`,
+		"var a = [1]; a[1] = a; document.write(a);",
+		`var s = "%41%42"; document.write(unescape(s) + escape(s) + atob("aGk=") + btoa("hi"));`,
+		"(function() { (function() { (function() { var x = [[[[[1]]]]]; })(); })(); })();",
+		"for (var i = 0; i < 10; i = i + 1) { for (var j = 0; j < 10; j = j + 1) { } }",
+		`var o = { a: { b: { c: 1 } } }; document.write(o.a.b.c + "x".split("").length);`,
+		"} not a program {",
+	} {
+		f.Add(src, uint32(500), uint32(4096), uint32(512), uint8(4))
+		f.Add(src, uint32(200_000), uint32(1<<21), uint32(1<<19), uint8(16))
+		f.Add(src, uint32(0), uint32(0), uint32(0), uint8(0))
+	}
+	f.Fuzz(func(t *testing.T, src string, fuel, heap, out uint32, depth uint8) {
+		b := fuzzBudget(fuel, heap, out, depth)
+		tr, err := ExecuteBudget(src, b)
+		if tr == nil {
+			t.Fatal("no trace returned")
+		}
+		if err != nil {
+			if _, ok := CodeOf(err); !ok {
+				t.Fatalf("unstructured error escaped: %v", err)
+			}
+		}
+		if tr.FuelUsed > b.Fuel {
+			t.Fatalf("FuelUsed %d exceeds fuel budget %d", tr.FuelUsed, b.Fuel)
+		}
+		tr2, err2 := ExecuteBudget(src, b)
+		if !reflect.DeepEqual(tr, tr2) {
+			t.Fatalf("trace differs across runs of the same (src, budget)")
+		}
+		if (err == nil) != (err2 == nil) || (err != nil && err.Error() != err2.Error()) {
+			t.Fatalf("error differs across runs: %v vs %v", err, err2)
+		}
+	})
+}
+
+// FuzzEvalDepth builds eval towers of arbitrary depth against arbitrary
+// depth budgets: within budget the tower unwinds cleanly, beyond it the
+// engine must return a structured code — the Go stack must never be the
+// limiting resource.
+func FuzzEvalDepth(f *testing.F) {
+	f.Add(uint8(3), uint8(8), "document.write(1);")
+	f.Add(uint8(20), uint8(4), "var x = 2;")
+	f.Add(uint8(31), uint8(0), "")
+	f.Add(uint8(12), uint8(16), `var s = "y"; document.write(s + s);`)
+	f.Fuzz(func(t *testing.T, layers, depthBudget uint8, payload string) {
+		n := int(layers % 40)
+		src := payload
+		for i := 0; i < n; i++ {
+			src = `eval(unescape("` + Escape(src) + `"));`
+			if len(src) > 1<<20 {
+				t.Skip("tower outgrew the interesting range")
+			}
+		}
+		b := Budget{
+			Fuel:        1 << 22,
+			HeapBytes:   1 << 26,
+			OutputBytes: 1 << 20,
+			EvalDepth:   int(depthBudget % 32),
+			Wall:        0,
+		}
+		_, err := ExecuteBudget(src, b)
+		if err != nil {
+			if _, ok := CodeOf(err); !ok {
+				t.Fatalf("unstructured error escaped: %v", err)
+			}
+		}
+	})
+}

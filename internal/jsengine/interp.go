@@ -41,20 +41,19 @@ type Trace struct {
 	Downloads []string
 	// Steps is the number of interpreter steps consumed.
 	Steps int
+	// FuelUsed is the total fuel the execution burned: steps plus the
+	// surcharges for parsing, concatenation, array growth and eval. It
+	// never exceeds the budget's Fuel.
+	FuelUsed int64
 }
 
-// Interpreter errors.
-var (
-	errStepLimit = errors.New("jsengine: step limit exceeded")
-	errEvalDepth = errors.New("jsengine: eval depth limit exceeded")
-	errWriteCap  = errors.New("jsengine: document.write volume cap exceeded")
-)
-
+// Interpreter recursion guards. These bound Go-stack depth, not script
+// work (fuel does that): legitimate decoders never approach them, and a
+// script that does is stopped with an uncatchable EVAL_ERROR rather than
+// overflowing the host stack.
 const (
-	maxSteps      = 500000
-	maxEvalDepth  = 16
-	maxWriteBytes = 2 << 20
-	maxStringLen  = 4 << 20
+	maxCallDepth = 200
+	maxExprDepth = 5000
 )
 
 // value is a JS runtime value.
@@ -125,31 +124,48 @@ func (e *env) declare(name string, v value) { e.vars[name] = v }
 
 // interp executes a parsed program and accumulates a Trace.
 type interp struct {
-	trace      *Trace
-	global     *env
-	evalDepth  int
-	writeBytes int
-	location   *object
-	document   *object
-	window     *object
+	trace     *Trace
+	global    *env
+	m         *meter
+	evalDepth int
+	callDepth int
+	exprDepth int
+	location  *object
+	document  *object
+	window    *object
 }
 
-// Execute parses and runs src in a fresh sandbox, returning the behaviour
-// trace. Execution errors after partial progress still return the partial
-// trace — malware frequently errors out after its payload has fired, and
-// the trace up to that point is exactly what we want.
+// Execute parses and runs src in a fresh sandbox under the default budget,
+// returning the behaviour trace. Execution errors after partial progress
+// still return the partial trace — malware frequently errors out after its
+// payload has fired, and the trace up to that point is exactly what we
+// want.
 func Execute(src string) (*Trace, error) {
-	prog, err := parseProgram(src)
-	if err != nil {
-		return &Trace{}, err
-	}
-	in := newInterp()
-	err = in.runProgram(prog)
-	return in.trace, err
+	return ExecuteBudget(src, DefaultBudget())
 }
 
-func newInterp() *interp {
-	in := &interp{trace: &Trace{}}
+// ExecuteBudget runs src under an explicit resource budget. The budget is
+// taken literally (zero fuel is zero fuel). A non-nil error is always a
+// *SandboxError; match on CodeOf. Execution is deterministic: the same
+// (src, budget) pair yields a byte-identical trace and error every run,
+// provided the wall-clock guard did not fire.
+func ExecuteBudget(src string, b Budget) (*Trace, error) {
+	m := newMeter(b)
+	prog, err := parseProgram(src, m)
+	if err != nil {
+		return &Trace{FuelUsed: m.fuelUsed}, asSandbox(err)
+	}
+	in := newInterp(m)
+	err = in.runProgram(prog)
+	in.trace.FuelUsed = m.fuelUsed
+	if err != nil {
+		return in.trace, asSandbox(err)
+	}
+	return in.trace, nil
+}
+
+func newInterp(m *meter) *interp {
+	in := &interp{trace: &Trace{}, m: m}
 	in.global = &env{vars: make(map[string]value)}
 	in.installGlobals()
 	return in
@@ -192,10 +208,7 @@ func (continueSignal) Error() string { return "continue" }
 
 func (in *interp) step() error {
 	in.trace.Steps++
-	if in.trace.Steps > maxSteps {
-		return errStepLimit
-	}
-	return nil
+	return in.m.charge(1)
 }
 
 func (in *interp) execStmt(s node, e *env) (value, error) {
@@ -256,14 +269,15 @@ func (in *interp) execStmt(s node, e *env) (value, error) {
 		if err == nil {
 			return nil, nil
 		}
-		// Control-flow signals and resource-limit aborts pass through;
-		// only script-level errors are catchable (as in real JS, where
-		// the VM's own limits cannot be caught either).
+		// Control-flow signals and sandbox aborts pass through; only
+		// script-level errors are catchable (as in real JS, where the
+		// VM's own limits cannot be caught either).
 		switch err.(type) {
 		case returnSignal, breakSignal, continueSignal:
 			return nil, err
 		}
-		if errors.Is(err, errStepLimit) || errors.Is(err, errEvalDepth) || errors.Is(err, errWriteCap) {
+		var se *SandboxError
+		if errors.As(err, &se) {
 			return nil, err
 		}
 		if st.handler == nil {
@@ -362,12 +376,14 @@ func (in *interp) execAssign(st stmtAssign, e *env) error {
 	case identExpr:
 		if st.op != "=" {
 			old, _ := e.lookup(target.name)
-			v = applyCompound(st.op, old, v)
+			v, err = in.applyCompound(st.op, old, v)
+			if err != nil {
+				return err
+			}
 		}
 		// Bare `location = url` is a navigation.
 		if target.name == "location" {
-			in.recordNavigation(toString(v))
-			return nil
+			return in.recordNavigation(toString(v))
 		}
 		e.set(target.name, v)
 		return nil
@@ -388,10 +404,20 @@ func (in *interp) execAssign(st stmtAssign, e *env) error {
 		}
 		if arr, ok := obj.(*jsArray); ok {
 			i := int(toNumber(idx))
-			for len(arr.elems) <= i {
-				arr.elems = append(arr.elems, jsUndefined{})
-			}
 			if i >= 0 {
+				// Growth is charged BEFORE any element is appended, so
+				// `a[1e9] = 1` dies on the budget instead of allocating.
+				if grow := int64(i) + 1 - int64(len(arr.elems)); grow > 0 {
+					if err := in.m.charge(grow/16 + 1); err != nil {
+						return err
+					}
+					if err := in.m.chargeHeap(grow * 16); err != nil {
+						return err
+					}
+					for len(arr.elems) <= i {
+						arr.elems = append(arr.elems, jsUndefined{})
+					}
+				}
 				arr.elems[i] = v
 			}
 			return nil
@@ -404,20 +430,36 @@ func (in *interp) execAssign(st stmtAssign, e *env) error {
 	return fmt.Errorf("jsengine: bad assignment target %T", st.target)
 }
 
-func applyCompound(op string, old, v value) value {
+func (in *interp) applyCompound(op string, old, v value) (value, error) {
 	switch op {
 	case "+=":
 		if _, ok := old.(string); ok {
-			return toString(old) + toString(v)
+			return in.concat(old, v)
 		}
 		if _, ok := v.(string); ok {
-			return toString(old) + toString(v)
+			return in.concat(old, v)
 		}
-		return toNumber(old) + toNumber(v)
+		return toNumber(old) + toNumber(v), nil
 	case "-=":
-		return toNumber(old) - toNumber(v)
+		return toNumber(old) - toNumber(v), nil
 	}
-	return v
+	return v, nil
+}
+
+// concat builds l+r as a string, charging fuel proportional to the result
+// and heap for the fresh bytes. Quadratic string builders and doubling
+// bombs exhaust their budget within milliseconds instead of the old
+// flat per-result length cap.
+func (in *interp) concat(l, r value) (value, error) {
+	ls, rs := toString(l), toString(r)
+	n := int64(len(ls)) + int64(len(rs))
+	if err := in.m.charge(1 + n/64); err != nil {
+		return nil, err
+	}
+	if err := in.m.chargeHeap(n); err != nil {
+		return nil, err
+	}
+	return ls + rs, nil
 }
 
 func (in *interp) setMember(obj value, prop string, v value, op string) error {
@@ -426,36 +468,66 @@ func (in *interp) setMember(obj value, prop string, v value, op string) error {
 		return nil // writing a property on a primitive: silently ignored
 	}
 	if op != "=" {
-		v = applyCompound(op, o.props[prop], v)
+		var err error
+		v, err = in.applyCompound(op, o.props[prop], v)
+		if err != nil {
+			return err
+		}
 	}
 	switch {
 	case o.class == "location" && (prop == "href" || prop == "replace"):
-		in.recordNavigation(toString(v))
-		return nil
+		return in.recordNavigation(toString(v))
 	case (o.class == "window" || o.class == "document") && prop == "location":
-		in.recordNavigation(toString(v))
-		return nil
-	case o.class == "document" && strings.HasPrefix(prop, "onmouse"):
-		in.trace.FingerprintReads = append(in.trace.FingerprintReads, "document."+prop)
-	case o.class == "document" && strings.HasPrefix(prop, "onkey"):
-		in.trace.FingerprintReads = append(in.trace.FingerprintReads, "document."+prop)
+		return in.recordNavigation(toString(v))
+	case o.class == "document" && (strings.HasPrefix(prop, "onmouse") || strings.HasPrefix(prop, "onkey")):
+		if err := in.recordFingerprint("document." + prop); err != nil {
+			return err
+		}
 	}
 	o.props[prop] = v
 	return nil
 }
 
-func (in *interp) recordNavigation(target string) {
+func (in *interp) recordNavigation(target string) error {
+	if err := in.m.chargeOutput(int64(len(target))); err != nil {
+		return err
+	}
 	in.trace.Navigations = append(in.trace.Navigations, target)
 	lower := strings.ToLower(target)
 	if strings.Contains(lower, ".exe") || strings.HasPrefix(lower, "data:") {
 		in.trace.Downloads = append(in.trace.Downloads, target)
 	}
+	return nil
+}
+
+// recordFingerprint appends a fingerprint-API touch, charged as output so
+// a registration loop cannot grow the trace without bound.
+func (in *interp) recordFingerprint(key string) error {
+	if err := in.m.chargeOutput(int64(len(key))); err != nil {
+		return err
+	}
+	in.trace.FingerprintReads = append(in.trace.FingerprintReads, key)
+	return nil
 }
 
 func (in *interp) eval(n node, e *env) (value, error) {
 	if err := in.step(); err != nil {
 		return nil, err
 	}
+	// Bound expression-tree recursion: a 100k-term concat chain parses to
+	// a 50k-deep left-leaning tree, and recursing it would exhaust the Go
+	// stack long before the fuel runs out.
+	in.exprDepth++
+	if in.exprDepth > maxExprDepth {
+		in.exprDepth--
+		return nil, errExprDepth
+	}
+	v, err := in.evalNode(n, e)
+	in.exprDepth--
+	return v, err
+}
+
+func (in *interp) evalNode(n node, e *env) (value, error) {
 	switch x := n.(type) {
 	case stringExpr:
 		return x.val, nil
@@ -608,18 +680,10 @@ func (in *interp) evalBin(x binExpr, e *env) (value, error) {
 	switch x.op {
 	case "+":
 		if _, ok := l.(string); ok {
-			s := toString(l) + toString(r)
-			if len(s) > maxStringLen {
-				return nil, errWriteCap
-			}
-			return s, nil
+			return in.concat(l, r)
 		}
 		if _, ok := r.(string); ok {
-			s := toString(l) + toString(r)
-			if len(s) > maxStringLen {
-				return nil, errWriteCap
-			}
-			return s, nil
+			return in.concat(l, r)
 		}
 		return toNumber(l) + toNumber(r), nil
 	case "-":
@@ -682,6 +746,11 @@ func (in *interp) invoke(fn value, this value, args []value) (value, error) {
 	case *nativeFn:
 		return f.fn(in, this, args)
 	case *userFn:
+		in.callDepth++
+		defer func() { in.callDepth-- }()
+		if in.callDepth > maxCallDepth {
+			return nil, errCallDepth
+		}
 		scope := &env{vars: make(map[string]value), parent: f.env}
 		for i, p := range f.params {
 			if i < len(args) {
@@ -737,6 +806,46 @@ func toString(v value) string {
 	case nil, jsUndefined:
 		return "undefined"
 	case string:
+		return x // the common case: no budget bookkeeping
+	case *jsArray:
+		// Arrays stringify recursively; a self-referencing array
+		// (`a[0] = a`) would otherwise recurse forever, and even with a
+		// depth cap a cyclic array fans out exponentially. Bound both
+		// depth and total rendered bytes.
+		rem := arrayRenderCap
+		return renderArray(x, 0, &rem)
+	default:
+		return scalarString(v)
+	}
+}
+
+const arrayRenderCap = 64 << 10
+
+func renderArray(x *jsArray, depth int, rem *int) string {
+	if depth >= 32 || *rem <= 0 {
+		return ""
+	}
+	parts := make([]string, len(x.elems))
+	for i, el := range x.elems {
+		if *rem <= 0 {
+			break
+		}
+		if inner, ok := el.(*jsArray); ok {
+			parts[i] = renderArray(inner, depth+1, rem)
+		} else {
+			parts[i] = scalarString(el)
+		}
+		*rem -= len(parts[i]) + 1
+	}
+	return strings.Join(parts, ",")
+}
+
+// scalarString stringifies every non-array value.
+func scalarString(v value) string {
+	switch x := v.(type) {
+	case nil, jsUndefined:
+		return "undefined"
+	case string:
 		return x
 	case bool:
 		if x {
@@ -748,12 +857,6 @@ func toString(v value) string {
 			return strconv.FormatInt(int64(x), 10)
 		}
 		return strconv.FormatFloat(x, 'g', -1, 64)
-	case *jsArray:
-		parts := make([]string, len(x.elems))
-		for i, el := range x.elems {
-			parts[i] = toString(el)
-		}
-		return strings.Join(parts, ",")
 	case *object:
 		return "[object Object]"
 	case *nativeFn:
@@ -849,7 +952,9 @@ func (in *interp) getMember(obj value, prop string) (value, error) {
 	if o.class == "navigator" || o.class == "screen" {
 		key := o.class + "." + strings.ToLower(prop)
 		if fingerprintProps[key] {
-			in.trace.FingerprintReads = append(in.trace.FingerprintReads, key)
+			if err := in.recordFingerprint(key); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if v, ok := o.props[prop]; ok {
@@ -903,12 +1008,20 @@ func (in *interp) stringMember(s, prop string) (value, error) {
 			return s[start:end], nil
 		}}, nil
 	case "split":
-		return &nativeFn{name: "split", fn: func(_ *interp, _ value, args []value) (value, error) {
+		return &nativeFn{name: "split", fn: func(in *interp, _ value, args []value) (value, error) {
 			sep := ""
 			if len(args) > 0 {
 				sep = toString(args[0])
 			}
 			parts := strings.Split(s, sep)
+			// Charge the fresh backing array plus per-part header cost;
+			// splitting on "" turns every byte into a string value.
+			if err := in.m.charge(int64(len(parts))/16 + 1); err != nil {
+				return nil, err
+			}
+			if err := in.m.chargeHeap(int64(len(parts)) * 16); err != nil {
+				return nil, err
+			}
 			arr := &jsArray{elems: make([]value, len(parts))}
 			for i, p := range parts {
 				arr.elems[i] = p
@@ -916,11 +1029,15 @@ func (in *interp) stringMember(s, prop string) (value, error) {
 			return arr, nil
 		}}, nil
 	case "replace":
-		return &nativeFn{name: "replace", fn: func(_ *interp, _ value, args []value) (value, error) {
+		return &nativeFn{name: "replace", fn: func(in *interp, _ value, args []value) (value, error) {
 			if len(args) < 2 {
 				return s, nil
 			}
-			return strings.Replace(s, toString(args[0]), toString(args[1]), 1), nil
+			out := strings.Replace(s, toString(args[0]), toString(args[1]), 1)
+			if err := in.m.chargeHeap(int64(len(out))); err != nil {
+				return nil, err
+			}
+			return out, nil
 		}}, nil
 	case "indexOf":
 		return &nativeFn{name: "indexOf", fn: func(_ *interp, _ value, args []value) (value, error) {
@@ -930,11 +1047,17 @@ func (in *interp) stringMember(s, prop string) (value, error) {
 			return float64(strings.Index(s, toString(args[0]))), nil
 		}}, nil
 	case "toLowerCase":
-		return &nativeFn{name: "toLowerCase", fn: func(_ *interp, _ value, _ []value) (value, error) {
+		return &nativeFn{name: "toLowerCase", fn: func(in *interp, _ value, _ []value) (value, error) {
+			if err := in.m.chargeHeap(int64(len(s))); err != nil {
+				return nil, err
+			}
 			return strings.ToLower(s), nil
 		}}, nil
 	case "toUpperCase":
-		return &nativeFn{name: "toUpperCase", fn: func(_ *interp, _ value, _ []value) (value, error) {
+		return &nativeFn{name: "toUpperCase", fn: func(in *interp, _ value, _ []value) (value, error) {
+			if err := in.m.chargeHeap(int64(len(s))); err != nil {
+				return nil, err
+			}
 			return strings.ToUpper(s), nil
 		}}, nil
 	}
@@ -1017,15 +1140,21 @@ func (in *interp) installGlobals() {
 		if len(args) > 0 {
 			name = toString(args[0])
 		}
+		if err := in.m.chargeOutput(int64(len(name))); err != nil {
+			return nil, err
+		}
 		in.trace.ExternalCalls = append(in.trace.ExternalCalls, name)
 		return jsUndefined{}, nil
 	}}
 
 	stringObj := newObject("object")
-	stringObj.props["fromCharCode"] = &nativeFn{name: "fromCharCode", fn: func(_ *interp, _ value, args []value) (value, error) {
+	stringObj.props["fromCharCode"] = &nativeFn{name: "fromCharCode", fn: func(in *interp, _ value, args []value) (value, error) {
 		var b strings.Builder
 		for _, a := range args {
 			b.WriteRune(rune(int(toNumber(a))))
+		}
+		if err := in.m.chargeHeap(int64(b.Len())); err != nil {
+			return nil, err
 		}
 		return b.String(), nil
 	}}
@@ -1067,21 +1196,29 @@ func (in *interp) installGlobals() {
 	g.declare("escape", &nativeFn{name: "escape", fn: nativeEscape})
 	g.declare("decodeURIComponent", &nativeFn{name: "decodeURIComponent", fn: nativeUnescape})
 	g.declare("encodeURIComponent", &nativeFn{name: "encodeURIComponent", fn: nativeEscape})
-	g.declare("atob", &nativeFn{name: "atob", fn: func(_ *interp, _ value, args []value) (value, error) {
+	g.declare("atob", &nativeFn{name: "atob", fn: func(in *interp, _ value, args []value) (value, error) {
 		if len(args) == 0 {
 			return "", nil
 		}
-		dec, err := base64.StdEncoding.DecodeString(toString(args[0]))
+		s := toString(args[0])
+		if err := in.m.chargeHeap(int64(len(s))); err != nil {
+			return nil, err
+		}
+		dec, err := base64.StdEncoding.DecodeString(s)
 		if err != nil {
 			return "", nil // invalid base64 decodes to empty, not an abort
 		}
 		return string(dec), nil
 	}})
-	g.declare("btoa", &nativeFn{name: "btoa", fn: func(_ *interp, _ value, args []value) (value, error) {
+	g.declare("btoa", &nativeFn{name: "btoa", fn: func(in *interp, _ value, args []value) (value, error) {
 		if len(args) == 0 {
 			return "", nil
 		}
-		return base64.StdEncoding.EncodeToString([]byte(toString(args[0]))), nil
+		s := toString(args[0])
+		if err := in.m.chargeHeap(int64(len(s)) * 2); err != nil {
+			return nil, err
+		}
+		return base64.StdEncoding.EncodeToString([]byte(s)), nil
 	}})
 	g.declare("parseInt", &nativeFn{name: "parseInt", fn: func(_ *interp, _ value, args []value) (value, error) {
 		if len(args) == 0 {
@@ -1142,9 +1279,14 @@ func nativeDocumentWrite(in *interp, _ value, args []value) (value, error) {
 		b.WriteString(toString(a))
 	}
 	s := b.String()
-	in.writeBytes += len(s)
-	if in.writeBytes > maxWriteBytes {
-		return nil, errWriteCap
+	// A tripping write still records the prefix that fit the budget, so
+	// partial traces up to the trip point stay deterministic.
+	kept, err := in.m.takeOutput(int64(len(s)))
+	if err != nil {
+		if kept > 0 {
+			in.trace.Writes = append(in.trace.Writes, s[:kept])
+		}
+		return nil, err
 	}
 	in.trace.Writes = append(in.trace.Writes, s)
 	return jsUndefined{}, nil
@@ -1154,6 +1296,9 @@ func nativeWindowOpen(in *interp, _ value, args []value) (value, error) {
 	target := ""
 	if len(args) > 0 {
 		target = toString(args[0])
+	}
+	if err := in.m.chargeOutput(int64(len(target))); err != nil {
+		return nil, err
 	}
 	in.trace.Popups = append(in.trace.Popups, target)
 	w := newObject("window")
@@ -1187,7 +1332,9 @@ func nativeAddEventListener(in *interp, _ value, args []value) (value, error) {
 	}
 	name := strings.ToLower(strings.TrimPrefix(toString(args[0]), "on"))
 	if fingerprintEvents[name] {
-		in.trace.FingerprintReads = append(in.trace.FingerprintReads, "event:"+name)
+		if err := in.recordFingerprint("event:" + name); err != nil {
+			return nil, err
+		}
 	}
 	// Fire the handler once so its payload is traced (mouse handlers on
 	// malware pages typically trigger the popup/redirect).
@@ -1208,18 +1355,28 @@ func nativeEval(in *interp, _ value, args []value) (value, error) {
 		return args[0], nil // eval of a non-string returns it unchanged
 	}
 	in.trace.Evals++
+	// Eval is the expensive re-entry point: surcharge it beyond the
+	// per-token parse cost so nested decoder towers burn fuel fast.
+	if err := in.m.charge(8 + int64(len(src))/16); err != nil {
+		return nil, err
+	}
 	in.evalDepth++
 	if in.evalDepth > in.trace.EvalDepth {
 		in.trace.EvalDepth = in.evalDepth
 	}
 	defer func() { in.evalDepth-- }()
-	if in.evalDepth > maxEvalDepth {
+	if in.evalDepth > in.m.b.EvalDepth {
 		return nil, errEvalDepth
 	}
-	prog, err := parseProgram(src)
+	prog, err := parseProgram(src, in.m)
 	if err != nil {
-		// Unparseable eval argument: common when malware evals data. Not
-		// fatal to the outer script.
+		// Resource trips during the nested parse are fatal as always;
+		// an unparseable eval argument is not — malware commonly evals
+		// data — so plain syntax errors return undefined.
+		var se *SandboxError
+		if errors.As(err, &se) {
+			return nil, err
+		}
 		return jsUndefined{}, nil
 	}
 	for _, s := range prog {
@@ -1238,11 +1395,14 @@ func nativeEval(in *interp, _ value, args []value) (value, error) {
 	return jsUndefined{}, nil
 }
 
-func nativeUnescape(_ *interp, _ value, args []value) (value, error) {
+func nativeUnescape(in *interp, _ value, args []value) (value, error) {
 	if len(args) == 0 {
 		return "", nil
 	}
 	s := toString(args[0])
+	if err := in.m.chargeHeap(int64(len(s))); err != nil {
+		return nil, err
+	}
 	// url.QueryUnescape rejects stray '%'; fall back to a forgiving
 	// decoder because malware often has junk percent sequences.
 	if dec, err := url.QueryUnescape(strings.ReplaceAll(s, "+", "%2B")); err == nil {
@@ -1269,11 +1429,15 @@ func forgivingUnescape(s string) string {
 	return b.String()
 }
 
-func nativeEscape(_ *interp, _ value, args []value) (value, error) {
+func nativeEscape(in *interp, _ value, args []value) (value, error) {
 	if len(args) == 0 {
 		return "", nil
 	}
-	return Escape(toString(args[0])), nil
+	out := Escape(toString(args[0]))
+	if err := in.m.chargeHeap(int64(len(out))); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Escape percent-encodes every byte outside [A-Za-z0-9], matching the old

@@ -74,8 +74,20 @@ func lex(src string) []token {
 // lexInto is lex writing into a reusable scratch slice (reset to length
 // zero first).
 func lexInto(src string, scratch []token) []token {
+	toks, _ := lexIntoCap(src, scratch, 0)
+	return toks
+}
+
+// lexIntoCap is lexInto with a token cap (0 = uncapped): once max tokens
+// have been produced, lexing stops and truncated is true. The sandbox
+// parser caps the stream at its remaining fuel so a fuel-starved parse of
+// an enormous script does not lex the whole thing first.
+func lexIntoCap(src string, scratch []token, max int) (toks []token, truncated bool) {
 	l := &lexer{src: src, toks: scratch[:0]}
 	for l.pos < len(l.src) {
+		if max > 0 && len(l.toks) >= max {
+			return l.toks, true
+		}
 		c := l.src[l.pos]
 		switch {
 		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
@@ -95,7 +107,7 @@ func lexInto(src string, scratch []token) []token {
 		}
 	}
 	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
-	return l.toks
+	return l.toks, false
 }
 
 func (l *lexer) peekAt(off int) byte {

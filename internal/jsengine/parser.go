@@ -149,25 +149,42 @@ func (condExpr) nodeTag() string     { return "cond" }
 func (incExpr) nodeTag() string      { return "inc" }
 
 type parser struct {
-	toks []token
-	pos  int
+	toks  []token
+	pos   int
+	depth int
 }
 
 // errTooComplex marks scripts the parser declines (deep nesting, runaway
 // token streams). The analyzer treats such scripts as "static only".
 var errTooComplex = errors.New("jsengine: script too complex for sandbox")
 
-const maxTokens = 200000
+const (
+	maxTokens     = 200000
+	maxParseDepth = 200
+)
 
-// parseProgram parses src into a statement list.
-func parseProgram(src string) ([]node, error) {
+// parseProgram parses src into a statement list, charging the meter for
+// the interned source and one fuel unit per token. Lexing stops early once
+// the token stream could no longer fit the remaining fuel, so a
+// fuel-starved parse of a huge input does bounded work.
+func parseProgram(src string, m *meter) ([]node, error) {
+	if err := m.chargeHeap(int64(len(src))); err != nil {
+		return nil, err
+	}
 	// The AST copies out token text (strings); the token structs themselves
 	// die with the parser, so the slice goes back to the pool on return.
 	tp := borrowToks()
 	defer returnToks(tp)
-	toks := lexInto(src, *tp)
+	tokenCap := int64(maxTokens)
+	if left := m.fuelLeft(); left < tokenCap {
+		tokenCap = left
+	}
+	toks, truncated := lexIntoCap(src, *tp, int(tokenCap)+1)
 	*tp = toks
-	if len(toks) > maxTokens {
+	if err := m.charge(int64(len(toks))); err != nil {
+		return nil, err
+	}
+	if truncated {
 		return nil, errTooComplex
 	}
 	p := &parser{toks: toks}
@@ -224,11 +241,29 @@ func (p *parser) eatSemis() {
 	}
 }
 
+// enter/exit bound recursive-descent depth. Every parser cycle (nested
+// blocks, parenthesized expressions, unary chains, comma var lists) passes
+// through statement, ternary, unary or varStatement2, so guarding those
+// four keeps pathological nesting from overflowing the Go stack.
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return errTooComplex
+	}
+	return nil
+}
+
+func (p *parser) exit() { p.depth-- }
+
 func (p *parser) statement() (node, error) {
 	p.eatSemis()
 	if p.at(tokEOF) {
 		return nil, nil
 	}
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.exit()
 	switch {
 	case p.atIdent("var") || p.atIdent("let") || p.atIdent("const"):
 		return p.varStatement()
@@ -327,6 +362,10 @@ func (p *parser) varStatement() (node, error) {
 // varStatement2 parses the continuation of a comma-separated var list
 // (without the leading keyword).
 func (p *parser) varStatement2() (node, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.exit()
 	t := p.cur()
 	if t.kind != tokIdent {
 		return nil, fmt.Errorf("jsengine: expected identifier in var list at offset %d", t.pos)
@@ -570,6 +609,10 @@ func (p *parser) blockOrSingle() ([]node, error) {
 func (p *parser) expression() (node, error) { return p.ternary() }
 
 func (p *parser) ternary() (node, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.exit()
 	cond, err := p.orExpr()
 	if err != nil {
 		return nil, err
@@ -642,6 +685,10 @@ func (p *parser) binLevel(ops []string, next func() (node, error)) (node, error)
 }
 
 func (p *parser) unary() (node, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.exit()
 	if p.atPunct("!") || p.atPunct("-") {
 		op := p.advance().text
 		x, err := p.unary()

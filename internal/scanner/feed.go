@@ -36,6 +36,7 @@ const (
 	LabelJSRedirector  = "Trojan:JS/Redirector"
 	LabelFaceliker     = "TrojanClicker:JS/Faceliker.D"
 	LabelBlacklisted   = "Blacklisted.Domain"
+	LabelResourceBomb  = "Trojan:JS/ResourceBomb.gen"
 )
 
 // ThreatFeed is the shared intelligence signature engines draw from. It

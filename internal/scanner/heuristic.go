@@ -7,6 +7,7 @@ import (
 	"repro/internal/httpsim"
 	"repro/internal/jsengine"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/pdf"
 	"repro/internal/swf"
 	"repro/internal/urlutil"
@@ -29,6 +30,12 @@ type Heuristic struct {
 	BrowserUA string
 	// MaxResources bounds sub-resource fetches per page.
 	MaxResources int
+	// Budget bounds each sandbox execution. Unset fields fall back to
+	// jsengine.DefaultBudget, so the zero value is production-ready.
+	Budget jsengine.Budget
+	// Metrics, when set, receives jsengine.sandbox.<code> counters for
+	// every sandbox error the scanner observes.
+	Metrics *obs.Registry
 }
 
 // NewHeuristic returns a scanner with dynamic analysis enabled.
@@ -74,6 +81,13 @@ type Findings struct {
 	Fingerprinting bool
 	// Popups counts scripted window.open calls.
 	Popups int
+	// SandboxTripped lists the resource codes (FUEL_EXHAUSTED,
+	// HEAP_LIMIT, OUTPUT_LIMIT, TIMEOUT) scripts on this page tripped.
+	// A script that outruns a production budget is hostile by
+	// construction — no legitimate page needs unbounded CPU or memory —
+	// so the trip itself is a malice signal. EVAL_ERROR is deliberately
+	// excluded: benign pages ship unparseable junk all the time.
+	SandboxTripped []string
 	// Labels collects the detection aliases, matching the vocabulary of
 	// the real reports quoted in the paper.
 	Labels []string
@@ -89,7 +103,8 @@ func (f *Findings) Malicious() bool {
 		(f.FlashSuspicion != nil && f.FlashSuspicion.Malicious()) ||
 		(f.PDFFindings != nil && f.PDFFindings.Malicious()) ||
 		f.ExternalInterfaceAbuse ||
-		f.Popups > 0
+		f.Popups > 0 ||
+		len(f.SandboxTripped) > 0
 }
 
 // ScanPage analyzes one fetched response body.
@@ -106,6 +121,7 @@ func (h *Heuristic) ScanPage(url, contentType string, body []byte) *Findings {
 		h.scanHTML(f, url, string(body))
 	}
 	f.Labels = dedupeStrings(f.Labels)
+	f.SandboxTripped = dedupeStrings(f.SandboxTripped)
 	return f
 }
 
@@ -205,8 +221,16 @@ func stripQuery(u string) string {
 }
 
 func (h *Heuristic) scanScript(f *Findings, pageURL, src string) {
-	rep := jsengine.Analyze(src, jsengine.Options{Sandbox: h.Sandbox})
+	rep := jsengine.Analyze(src, jsengine.Options{Sandbox: h.Sandbox, Budget: h.Budget})
 	static := rep.Static
+
+	if code, ok := jsengine.CodeOf(rep.SandboxErr); ok {
+		h.Metrics.Counter("jsengine.sandbox." + strings.ToLower(string(code))).Inc()
+		if code.Resource() {
+			f.SandboxTripped = append(f.SandboxTripped, string(code))
+			f.Labels = append(f.Labels, LabelResourceBomb)
+		}
+	}
 
 	if static.Obfuscated() {
 		f.ObfuscatedJS = true

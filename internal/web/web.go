@@ -85,6 +85,7 @@ const (
 	JSObfuscatedInjection                      // Code 3: eval(unescape(document.write(iframe)))
 	JSDeceptiveDownload                        // Code 4: fake Flash-Player.exe prompt
 	JSFingerprinting                           // mouse recording + popups
+	JSBomb                                     // resource bomb: sandbox-budget exhaustion (hostile corpus)
 )
 
 // Site is one member site of the universe.
@@ -113,6 +114,8 @@ type Site struct {
 	// ShortenedMalicious sites this is the shortened alias; otherwise the
 	// homepage.
 	EntryURL string
+	// BombSrc is the hostile script planted on JSBomb sites; "" otherwise.
+	BombSrc string
 	// HasAnalytics / HasOAuthFrame plant the §V-E false-positive shapes
 	// on some benign sites.
 	HasAnalytics  bool
