@@ -460,6 +460,53 @@ func BenchmarkStreamingStudy(b *testing.B) {
 	}
 }
 
+// BenchmarkShardMerge measures the fleet shard-merge path end to end:
+// decode every shard checkpoint of a multi-exchange study and fold them
+// into one Analysis. The records/sec throughput is the BENCH-guarded
+// number (a floor, via min_benchmarks) — merge cost is what bounds how
+// cheaply a 100M-URL study can be stitched back together from shards, so
+// it must stay far below crawl cost.
+func BenchmarkShardMerge(b *testing.B) {
+	cfg := core.DefaultStudyConfig()
+	cfg.Seed = 1
+	cfg.Scale = 300
+	cfg.DriveShortenerTraffic = false
+	dir := b.TempDir()
+	st, err := core.RunStudyFleet(cfg, core.FleetOptions{
+		Fleet: 4, ShardDir: dir, KeepShards: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	paths := make([]string, len(st.Exchanges))
+	for i := range paths {
+		paths[i] = core.ShardPath(dir, i)
+	}
+	records := st.Analysis.TotalCrawled
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := core.NewShardMerger()
+		for _, p := range paths {
+			ck, err := core.LoadCheckpoint(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := m.Add(ck); err != nil {
+				b.Fatal(err)
+			}
+		}
+		a, err := m.Analysis()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a.TotalCrawled != records {
+			b.Fatalf("merged %d records, want %d", a.TotalCrawled, records)
+		}
+	}
+	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+}
+
 // BenchmarkFullStudy measures the complete end-to-end reproduction
 // (universe + crawl + analysis) at bench scale.
 func BenchmarkFullStudy(b *testing.B) {

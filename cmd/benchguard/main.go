@@ -11,7 +11,9 @@
 // value). Every guarded metric must appear in the bench output — a missing
 // benchmark is a failure, so a renamed or deleted benchmark cannot silently
 // retire its budget. Lower is better for every guarded unit (B/op,
-// allocs/op, alloc-B/record, ns/op).
+// allocs/op, alloc-B/record, ns/op). Throughput-style metrics where higher
+// is better (records/sec) go in "min_benchmarks": those fail when the
+// measured value drops more than tolerance_pct below the floor.
 package main
 
 import (
@@ -29,6 +31,9 @@ import (
 type budgetFile struct {
 	TolerancePct float64                       `json:"tolerance_pct"`
 	Benchmarks   map[string]map[string]float64 `json:"benchmarks"`
+	// MinBenchmarks guards higher-is-better metrics (throughputs): the
+	// value is a floor, and a measurement below floor*(1-tolerance) fails.
+	MinBenchmarks map[string]map[string]float64 `json:"min_benchmarks"`
 }
 
 // parseBench extracts benchmark -> unit -> value from go test -bench
@@ -121,6 +126,33 @@ func run(budgetPath, benchPath string) error {
 			}
 			fmt.Printf("%s  %-55s %-16s %14.0f  (budget %14.0f, +%.0f%% tolerance)\n",
 				status, name, unit, v, max, budget.TolerancePct)
+		}
+	}
+	for name, floors := range budget.MinBenchmarks {
+		got, ok := lookup(measured, name)
+		if !ok {
+			fmt.Printf("FAIL  %s: benchmark missing from output\n", name)
+			failures++
+			continue
+		}
+		for unit, min := range floors {
+			v, ok := got[unit]
+			if !ok {
+				fmt.Printf("FAIL  %s %s: metric missing\n", name, unit)
+				failures++
+				continue
+			}
+			limit := min * (1 - budget.TolerancePct/100)
+			status := "ok  "
+			switch {
+			case v < limit:
+				status = "FAIL"
+				failures++
+			case v > min*(1+budget.TolerancePct/100):
+				status = "ok* " // * = consider raising the floor
+			}
+			fmt.Printf("%s  %-55s %-16s %14.0f  (floor  %14.0f, -%.0f%% tolerance)\n",
+				status, name, unit, v, min, budget.TolerancePct)
 		}
 	}
 	if failures > 0 {

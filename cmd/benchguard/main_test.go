@@ -94,6 +94,40 @@ func TestRunMissingMetricFails(t *testing.T) {
 	}
 }
 
+// The throughput line feeds the min_benchmarks (higher-is-better) tests.
+const sampleThroughput = sampleBench +
+	"BenchmarkShardMerge-8   \t     100\t  11860214 ns/op\t    280000 records/sec\t 1234567 B/op\t  12345 allocs/op\n"
+
+func TestRunMinWithinFloor(t *testing.T) {
+	budget := `{"tolerance_pct": 10, "min_benchmarks": {
+		"BenchmarkShardMerge": {"records/sec": 275000}
+	}}`
+	bp, fp := writeFiles(t, budget, sampleThroughput)
+	if err := run(bp, fp); err != nil {
+		t.Fatalf("280000 against a 275000 floor (-10%%) failed: %v", err)
+	}
+}
+
+func TestRunMinRegressionFails(t *testing.T) {
+	budget := `{"tolerance_pct": 10, "min_benchmarks": {
+		"BenchmarkShardMerge": {"records/sec": 400000}
+	}}`
+	bp, fp := writeFiles(t, budget, sampleThroughput)
+	if err := run(bp, fp); err == nil {
+		t.Fatal("280000 against a 400000 floor (-10%) must fail")
+	}
+}
+
+func TestRunMinMissingBenchmarkFails(t *testing.T) {
+	budget := `{"tolerance_pct": 10, "min_benchmarks": {
+		"BenchmarkGoneThroughput": {"records/sec": 1}
+	}}`
+	bp, fp := writeFiles(t, budget, sampleThroughput)
+	if err := run(bp, fp); err == nil {
+		t.Fatal("missing min benchmark must fail so floors cannot be silently retired")
+	}
+}
+
 func TestCommittedBudgetParses(t *testing.T) {
 	raw, err := os.ReadFile("../../BENCH_5.json")
 	if err != nil {

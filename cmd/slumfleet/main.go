@@ -1,0 +1,196 @@
+// Command slumfleet runs the reproduction as a sharded fleet: the study's
+// exchanges are partitioned into shards, N virtual workers crawl and
+// analyze them concurrently (work-stealing the stragglers), and the
+// per-shard results merge into the same report slumreport prints —
+// byte-identical for every fleet size and merge order.
+//
+// Usage:
+//
+//	slumfleet [-seed N] [-scale N] [-fleet N] [-faults PROFILE] [-retries N]
+//	          [-shard-dir DIR] [-checkpoint-every N] [-resume] [-keep-shards]
+//	          [-shards LIST] [-merge] [-json] [-metrics]
+//
+// With -shard-dir DIR each shard periodically persists its own SLUMCKPT
+// shard checkpoint under DIR; kill the fleet (any subset of workers, any
+// point mid-shard) and rerun with -resume to pick every shard up from its
+// last durable prefix — the final report is still byte-identical. The
+// -abort-after testing hook stands in for the kill.
+//
+// Distributed studies split the work across invocations: each runs
+// -shards with a disjoint subset (e.g. "0-4" on one machine, "5-8" on
+// another) writing into a shared -shard-dir, then a final -merge pass
+// loads the shard files — no crawling — and prints the merged report.
+// Merging validates provenance: shards from a different seed,
+// configuration or partitioning are refused, as is the same shard twice.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/httpsim"
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "slumfleet:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("slumfleet", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "experiment seed")
+	scale := fs.Int("scale", 20, "divide paper crawl volumes by this factor")
+	fleet := fs.Int("fleet", 4, "number of virtual workers pulling shards")
+	faults := fs.String("faults", "", "crawl fault profile: "+strings.Join(httpsim.ProfileNames(), ", "))
+	retries := fs.Int("retries", 2, "crawl retries per URL after the first attempt")
+	jsFuel := fs.Int64("js-fuel", 0, "JS sandbox fuel budget per script (0 = default)")
+	jsHeap := fs.Int64("js-heap", 0, "JS sandbox heap budget in bytes per script (0 = default)")
+	shardDir := fs.String("shard-dir", "", "directory for per-shard checkpoints (enables kill/resume)")
+	ckptEvery := fs.Int("checkpoint-every", 5000, "per-shard records between checkpoint writes")
+	resume := fs.Bool("resume", false, "resume shards from their checkpoints under -shard-dir")
+	abortAfter := fs.Int("abort-after", 0, "testing: kill the fleet after N folded records across all shards")
+	shards := fs.String("shards", "", "run only these shard indices (e.g. \"0,2,5-8\"); requires -shard-dir")
+	keepShards := fs.Bool("keep-shards", false, "keep shard checkpoints after a successful merged run")
+	merge := fs.Bool("merge", false, "merge-only: load shard checkpoints under -shard-dir, skip crawling")
+	asJSON := fs.Bool("json", false, "emit every table and figure as JSON")
+	withMetrics := fs.Bool("metrics", false, "instrument the run and append a METRICS section")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *scale <= 0 {
+		return fmt.Errorf("scale must be positive, got %d", *scale)
+	}
+	if *merge && *shardDir == "" {
+		return fmt.Errorf("-merge requires -shard-dir DIR")
+	}
+	if *shards != "" && *shardDir == "" {
+		return fmt.Errorf("-shards requires -shard-dir DIR (the shard files are the output)")
+	}
+	only, err := parseShards(*shards)
+	if err != nil {
+		return err
+	}
+
+	cfg := core.DefaultStudyConfig()
+	cfg.Seed = *seed
+	cfg.Scale = *scale
+	cfg.FaultProfile = *faults
+	cfg.Retries = *retries
+	cfg.JSFuel = *jsFuel
+	cfg.JSHeapBytes = *jsHeap
+	if *withMetrics {
+		cfg.Metrics = obs.NewRegistry()
+		cfg.Tracer = obs.NewTracer()
+	}
+
+	var st *core.Study
+	if *merge {
+		fmt.Fprintf(os.Stderr, "merging shards: seed=%d scale=%d dir=%s\n", cfg.Seed, cfg.Scale, *shardDir)
+		st, err = core.MergeShardStudy(cfg, *shardDir)
+		if err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "running fleet: seed=%d scale=%d fleet=%d (~%d URLs)...\n",
+			cfg.Seed, cfg.Scale, *fleet, 1003087/cfg.Scale)
+		st, err = core.RunStudyFleet(cfg, core.FleetOptions{
+			Fleet:           *fleet,
+			ShardDir:        *shardDir,
+			CheckpointEvery: *ckptEvery,
+			Resume:          *resume,
+			AbortAfter:      *abortAfter,
+			Only:            only,
+			KeepShards:      *keepShards,
+		})
+		if err != nil {
+			return err
+		}
+		if len(only) > 0 {
+			// Subset runs produce shard files, not a report: the merge-only
+			// pass renders once every subset has landed.
+			fmt.Fprintf(os.Stderr, "shards %s written under %s; run -merge once all shards are present\n",
+				*shards, *shardDir)
+			return nil
+		}
+	}
+	a := st.Analysis
+
+	if *asJSON {
+		rep := report.BuildJSON(a, a.ShortURLStats(st.Universe.Shorteners))
+		if *withMetrics {
+			rep.Metrics = obs.NewExport(cfg.Metrics, cfg.Tracer)
+		}
+		return report.EncodeJSON(out, rep)
+	}
+
+	sections := []func() string{
+		func() string { return report.Headline(a) },
+		func() string { return report.Table1(a) },
+		func() string { return report.Table2(a) },
+		func() string { return report.Table3(a) },
+		func() string { return report.Table4(a.ShortURLStats(st.Universe.Shorteners)) },
+		func() string { return report.Figure2(a) },
+		func() string { return report.Figure3(a) },
+		func() string { return report.Figure5(a) },
+		func() string { return report.Figure6(a) },
+		func() string { return report.Figure7(a) },
+		func() string { return report.CrawlHealthReport(a) },
+	}
+	for _, render := range sections {
+		fmt.Fprintln(out, render())
+	}
+	if *withMetrics {
+		fmt.Fprintln(out, report.MetricsReport(obs.NewExport(cfg.Metrics, cfg.Tracer)))
+	}
+	return nil
+}
+
+// parseShards parses a shard selection like "0,2,5-8" into indices.
+// Duplicate and out-of-range indices are left for the fleet scope check,
+// which knows the study's shard count.
+func parseShards(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("-shards: empty element in %q", s)
+		}
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err := strconv.Atoi(lo)
+			if err != nil {
+				return nil, fmt.Errorf("-shards: bad range start %q: %w", lo, errors.Unwrap(err))
+			}
+			b, err := strconv.Atoi(hi)
+			if err != nil {
+				return nil, fmt.Errorf("-shards: bad range end %q: %w", hi, errors.Unwrap(err))
+			}
+			if b < a {
+				return nil, fmt.Errorf("-shards: backwards range %q", part)
+			}
+			for i := a; i <= b; i++ {
+				out = append(out, i)
+			}
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("-shards: bad index %q: %w", part, errors.Unwrap(err))
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestGoldenReportFleet locks the sharded fleet mode to the exact golden
+// bytes of the batch path, clean and faulty alike, across fleet sizes.
+func TestGoldenReportFleet(t *testing.T) {
+	checkGolden(t, "report.golden", captureReport(t, "-fleet", "4"))
+	checkGolden(t, "report.golden", captureReport(t, "-fleet", "1"))
+	checkGolden(t, "report_faulty.golden", captureReport(t, "-faults", "hostile", "-fleet", "8"))
+}
+
+// TestFleetFlagValidation: -fleet is the sharded alternative to the
+// streaming flags, not a modifier of them.
+func TestFleetFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{"-fleet", "4", "-stream"},
+		{"-fleet", "4", "-checkpoint", "x.ckpt"},
+		{"-fleet", "4", "-abort-after", "10"},
+	} {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("%v accepted, want error", args)
+		}
+	}
+}

@@ -30,6 +30,12 @@
 // checkpoint file is deleted when a run completes, so "-checkpoint f
 // -resume" is safe to use unconditionally: first run starts fresh,
 // interrupted reruns resume, completed runs leave nothing behind.
+//
+// -fleet N runs the study as a sharded fleet instead: the exchanges are
+// partitioned across N virtual workers, each running the streaming
+// pipeline over its shard, and the per-shard results merge into the same
+// byte-identical report for every N. For per-shard checkpointing,
+// kill/resume and distributed subsets, use the slumfleet command.
 package main
 
 import (
@@ -71,6 +77,7 @@ func run(args []string, out io.Writer) error {
 	resume := fs.Bool("resume", false, "resume from the -checkpoint file when it exists (implies -stream)")
 	ckptEvery := fs.Int("checkpoint-every", 5000, "records between checkpoint writes")
 	abortAfter := fs.Int("abort-after", 0, "testing: abort the streaming run after N folded records, as a kill would")
+	fleet := fs.Int("fleet", 0, "run as a sharded fleet of N virtual workers (see slumfleet for checkpointing)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,6 +89,9 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-resume requires -checkpoint FILE")
 	}
 	useStream := *stream || *ckptPath != "" || *abortAfter > 0
+	if *fleet > 0 && useStream {
+		return fmt.Errorf("-fleet does not combine with -stream/-checkpoint/-resume/-abort-after; use slumfleet for checkpointed fleets")
+	}
 	cfg := core.DefaultStudyConfig()
 	cfg.Seed = *seed
 	cfg.Scale = *scale
@@ -98,7 +108,9 @@ func run(args []string, out io.Writer) error {
 		cfg.Seed, cfg.Scale, 1003087/cfg.Scale)
 	var st *core.Study
 	var err error
-	if useStream {
+	if *fleet > 0 {
+		st, err = core.RunStudyFleet(cfg, core.FleetOptions{Fleet: *fleet})
+	} else if useStream {
 		sopts := core.StreamOptions{CheckpointPath: *ckptPath, CheckpointEvery: *ckptEvery, AbortAfter: *abortAfter}
 		if *resume {
 			ck, lerr := core.LoadCheckpoint(*ckptPath)

@@ -16,7 +16,8 @@ import (
 //
 //	magic    [8]byte  "SLUMCKPT"
 //	version  u16      little-endian (currently 1)
-//	kind     u8       1 = analysis fold state, 2 = crawl dataset progress
+//	kind     u8       1 = analysis fold state, 2 = crawl dataset progress,
+//	                  3 = fleet shard (single-exchange fold + visit deltas)
 //	seed     u64      study seed the state was produced under
 //	cfghash  u64      fingerprint of every output-shaping StudyConfig field
 //	payload  ...      kind-specific body (uvarints, length-prefixed strings,
@@ -39,11 +40,14 @@ type checkpointKind uint8
 const (
 	ckptAnalysis checkpointKind = 1
 	ckptCrawl    checkpointKind = 2
+	ckptShard    checkpointKind = 3
 )
 
-// Checkpoint is a decoded resume point: either the folded accumulator
-// state of a streaming analysis run (slumreport) or the per-exchange
-// progress of a streaming dataset crawl (slumcrawl).
+// Checkpoint is a decoded resume point: the folded accumulator state of a
+// streaming analysis run (slumreport), the per-exchange progress of a
+// streaming dataset crawl (slumcrawl), or one shard of a fleet run
+// (slumfleet) — a single exchange's partial accumulator plus the shortener
+// traffic its crawl generated, mergeable with its sibling shards.
 type Checkpoint struct {
 	// Seed and ConfigHash identify the run the state belongs to; Validate
 	// refuses to resume under a different seed or configuration.
@@ -53,6 +57,7 @@ type Checkpoint struct {
 	kind  checkpointKind
 	fold  *foldSnapshot
 	crawl []CrawlProgress
+	shard *shardSnapshot
 }
 
 // CrawlProgress is one exchange's cursor in a streaming dataset crawl.
@@ -79,6 +84,8 @@ func (c *Checkpoint) Records() int {
 		for _, p := range c.crawl {
 			total += p.Records
 		}
+	case ckptShard:
+		total = c.shard.folded()
 	}
 	return total
 }
@@ -201,34 +208,55 @@ func (fs *foldState) restore(snap *foldSnapshot) error {
 	if len(snap.exchanges) != len(fs.exchanges) {
 		return fmt.Errorf("core: checkpoint covers %d exchanges, study has %d", len(snap.exchanges), len(fs.exchanges))
 	}
-	for i, es := range snap.exchanges {
-		ef := fs.exchanges[i]
-		if es.name != ef.name {
-			return fmt.Errorf("core: checkpoint exchange %d is %q, study has %q", i, es.name, ef.name)
-		}
-		ef.row.Crawled = es.folded
-		ef.row.Self = es.self
-		ef.row.Popular = es.popular
-		ef.row.Regular = es.regular
-		ef.row.Malicious = es.malicious
-		ef.row.Failed = es.failed
-		ef.health.Failed = es.failed
-		ef.health.Retries = es.retries
-		ef.folded = es.folded
-		for k, v := range es.kinds {
-			ef.kinds[k] = v
-		}
-		for _, d := range es.domains {
-			ef.domains[d] = true
-		}
-		for _, d := range es.malDomains {
-			ef.malDomains[d] = true
-		}
-		for i := 0; i < es.folded; i++ {
-			ef.series.Observe(es.seriesBits[i/8]&(1<<(i%8)) != 0)
+	for i := range snap.exchanges {
+		if err := fs.mergeExchangeSnap(i, &snap.exchanges[i]); err != nil {
+			return err
 		}
 	}
-	fs.out.MiscCount = snap.miscCount
+	fs.mergeGlobals(snap)
+	return nil
+}
+
+// mergeExchangeSnap additively folds one exchange snapshot into slot i.
+// Every field is a sum, a set union or a bit-replay, so merging is
+// commutative across slots; within a slot it must be the only contribution
+// (the Figure 3 series replays in record order — two partial series for
+// the same exchange would interleave wrongly, which is exactly what the
+// shard merger's duplicate-index guard exists to prevent).
+func (fs *foldState) mergeExchangeSnap(i int, es *exchangeSnap) error {
+	ef := fs.exchanges[i]
+	if es.name != ef.name {
+		return fmt.Errorf("core: checkpoint exchange %d is %q, study has %q", i, es.name, ef.name)
+	}
+	ef.row.Crawled += es.folded
+	ef.row.Self += es.self
+	ef.row.Popular += es.popular
+	ef.row.Regular += es.regular
+	ef.row.Malicious += es.malicious
+	ef.row.Failed += es.failed
+	ef.health.Failed += es.failed
+	ef.health.Retries += es.retries
+	ef.folded += es.folded
+	for k, v := range es.kinds {
+		ef.kinds[k] += v
+	}
+	for _, d := range es.domains {
+		ef.domains[d] = true
+	}
+	for _, d := range es.malDomains {
+		ef.malDomains[d] = true
+	}
+	for j := 0; j < es.folded; j++ {
+		ef.series.Observe(es.seriesBits[j/8]&(1<<(j%8)) != 0)
+	}
+	return nil
+}
+
+// mergeGlobals additively folds a snapshot's cross-exchange aggregates:
+// counter sums, histogram replays and set unions — all commutative and
+// associative, which is what makes shard merging order-invariant.
+func (fs *foldState) mergeGlobals(snap *foldSnapshot) {
+	fs.out.MiscCount += snap.miscCount
 	restoreCounter(fs.out.CategoryCounts, snap.categories)
 	restoreCounter(fs.out.TLDCounts, snap.tlds)
 	restoreCounter(fs.out.ContentCategories, snap.contents)
@@ -247,7 +275,6 @@ func (fs *foldState) restore(snap *foldSnapshot) error {
 	for _, u := range snap.distinct {
 		fs.distinct[u] = true
 	}
-	return nil
 }
 
 func counterMap(c *stats.Counter) map[string]int {
@@ -612,6 +639,10 @@ func decodeCheckpoint(data []byte) (*Checkpoint, error) {
 		if c.crawl, err = decodeCrawlPayload(r); err != nil {
 			return nil, err
 		}
+	case ckptShard:
+		if c.shard, err = decodeShardPayload(r); err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("core: checkpoint: unknown payload kind %d", c.kind)
 	}
@@ -725,6 +756,8 @@ func (c *Checkpoint) KindName() string {
 		return "analysis"
 	case ckptCrawl:
 		return "crawl"
+	case ckptShard:
+		return "shard"
 	}
 	return fmt.Sprintf("unknown(%d)", c.kind)
 }

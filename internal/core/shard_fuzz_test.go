@@ -1,0 +1,156 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// fuzzSeedPayloads are structurally valid shard payloads covering the
+// codec's surface: plain, zero-record, visit-carrying, and multi-kind.
+// They seed both fuzz targets and double as the checked-in corpus (see
+// testdata/fuzz/).
+func fuzzSeedPayloads() [][]byte {
+	a := testShardSnap(0, 3, 10, 10, "trafficholder")
+	b := testShardSnap(1, 3, 8, 5, "downloadr")
+	b.fold.exchanges[0].self = 3
+	b.fold.exchanges[0].regular = 2
+	b.fold.exchanges[0].malicious = 1
+	b.fold.exchanges[0].kinds["trojan-dropper"] = 1
+	b.fold.exchanges[0].malDomains = []string{"evil.example"}
+	b.fold.categories["malware"] = 1
+	b.fold.redirects[2] = 3
+	c := testShardSnap(2, 3, 0, 0, "empty-exchange")
+	d := testShardSnap(0, 1, 4, 4, "solo")
+	d.visits = map[string]*shardVisit{
+		"http://goo.gl.sim/a": {hits: 3, referrers: map[string]int{"x.sim": 2}, countries: map[string]int{"RU": 1}},
+		"http://j.mp.sim/b":   {hits: 1},
+	}
+	return [][]byte{
+		encodeShardPayload(a),
+		encodeShardPayload(b),
+		encodeShardPayload(c),
+		encodeShardPayload(d),
+	}
+}
+
+// TestUpdateShardFuzzCorpus regenerates the checked-in seed corpus under
+// testdata/fuzz/ when UPDATE_FUZZ_CORPUS=1. The files duplicate the f.Add
+// seeds on purpose: the corpus survives refactors of the seed-building
+// helpers and gives `go test -fuzz` a head start that does not depend on
+// test-code execution order.
+func TestUpdateShardFuzzCorpus(t *testing.T) {
+	if os.Getenv("UPDATE_FUZZ_CORPUS") == "" {
+		t.Skip("set UPDATE_FUZZ_CORPUS=1 to rewrite testdata/fuzz")
+	}
+	writeCorpus := func(target string, inputs [][][]byte) {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, in := range inputs {
+			var buf bytes.Buffer
+			buf.WriteString("go test fuzz v1\n")
+			for _, b := range in {
+				fmt.Fprintf(&buf, "[]byte(%s)\n", strconv.Quote(string(b)))
+			}
+			if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed-%02d", i)), buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	seeds := fuzzSeedPayloads()
+	var decode [][][]byte
+	for _, p := range seeds {
+		decode = append(decode, [][]byte{p})
+	}
+	decode = append(decode, [][]byte{{}}, [][]byte{{0x00, 0x03, 0x0a}})
+	writeCorpus("FuzzShardDecode", decode)
+	writeCorpus("FuzzShardMerge", [][][]byte{
+		{seeds[0], seeds[1], seeds[2]},
+		{seeds[3], seeds[0], {}},
+		{seeds[1], seeds[1], seeds[2]},
+	})
+}
+
+// FuzzShardDecode hardens the kind-3 decoder: arbitrary payload bytes —
+// framed as an otherwise well-formed SLUMCKPT file, so the checksum does
+// not mask the interesting paths — must either fail cleanly or produce a
+// snapshot the encoder maps back to canonical bytes (decode∘encode is a
+// fixpoint). Panics and runaway allocations are the bugs being hunted;
+// the count(min) bounds in the reader are what keep a crafted
+// billion-element header from allocating before validation.
+func FuzzShardDecode(f *testing.F) {
+	for _, p := range fuzzSeedPayloads() {
+		f.Add(p)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x03, 0x0a})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		ck, err := decodeCheckpoint(encodeCheckpoint(ckptShard, 7, 9, payload))
+		if err != nil {
+			return
+		}
+		enc := encodeShardPayload(ck.shard)
+		ck2, err := decodeCheckpoint(encodeCheckpoint(ckptShard, 7, 9, enc))
+		if err != nil {
+			t.Fatalf("re-decoding a decoded shard failed: %v", err)
+		}
+		if enc2 := encodeShardPayload(ck2.shard); !bytes.Equal(enc, enc2) {
+			t.Fatal("encode(decode(payload)) is not a fixpoint — codec is not canonical")
+		}
+	})
+}
+
+// FuzzShardMerge asserts the merge algebra's commutativity at the byte
+// level: whenever fuzzed payloads decode into mergeable shards (same
+// partition size, distinct indices), folding them forward and folding
+// them reversed must serialize to identical bytes. Associativity follows:
+// mergeFold is a left fold of a commutative operation over independent
+// slots, so order-independence of the flat fold covers every grouping.
+func FuzzShardMerge(f *testing.F) {
+	seeds := fuzzSeedPayloads()
+	f.Add(seeds[0], seeds[1], seeds[2])
+	f.Add(seeds[3], seeds[0], []byte{})
+	f.Add(seeds[1], seeds[1], seeds[2])
+	f.Fuzz(func(t *testing.T, p1, p2, p3 []byte) {
+		var snaps []*shardSnapshot
+		taken := map[int]bool{}
+		for _, p := range [][]byte{p1, p2, p3} {
+			ck, err := decodeCheckpoint(encodeCheckpoint(ckptShard, 7, 9, p))
+			if err != nil {
+				continue
+			}
+			s := ck.shard
+			if len(snaps) > 0 && s.shards != snaps[0].shards {
+				continue
+			}
+			if taken[s.index] {
+				continue
+			}
+			taken[s.index] = true
+			snaps = append(snaps, s)
+		}
+		if len(snaps) < 2 {
+			return
+		}
+		fwd, err := mergeFold(snaps)
+		if err != nil {
+			t.Fatalf("forward merge of valid distinct shards failed: %v", err)
+		}
+		rev := make([]*shardSnapshot, len(snaps))
+		for i, s := range snaps {
+			rev[len(snaps)-1-i] = s
+		}
+		bwd, err := mergeFold(rev)
+		if err != nil {
+			t.Fatalf("reversed merge failed: %v", err)
+		}
+		if !bytes.Equal(encodeFoldPayload(fwd.snapshot()), encodeFoldPayload(bwd.snapshot())) {
+			t.Fatal("merge order changed the serialized fold state — merge is not commutative")
+		}
+	})
+}

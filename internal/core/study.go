@@ -203,7 +203,18 @@ func (st *Study) Run() error {
 // which is what makes their fetch streams — and therefore their reports —
 // interchangeable.
 func (st *Study) transport() httpsim.RoundTripper {
-	transport := httpsim.RoundTripper(st.Universe.Internet)
+	return st.transportOver(st.Universe.Internet)
+}
+
+// transportOver assembles the crawl-path stack over an inner transport —
+// normally the virtual internet; in fleet mode each shard's visit
+// recorder wrapping it. The fault injector always goes OUTSIDE the inner
+// transport: every injection decision is a pure function of (seed, URL,
+// attempt), so per-shard injector instances reproduce the shared
+// instance's fault stream exactly, and synthesized faults (which never
+// reach the inner transport) stay invisible to whatever wraps it.
+func (st *Study) transportOver(inner httpsim.RoundTripper) httpsim.RoundTripper {
+	transport := inner
 	if prof, ok := httpsim.ProfileByName(st.Config.FaultProfile); ok && !prof.Zero() {
 		// Seed offset keeps the fault stream independent of the universe
 		// and detector streams derived from the same study seed.

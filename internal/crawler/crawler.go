@@ -434,6 +434,15 @@ func CrawlAllStream(exchanges []*exchange.Exchange, transport httpsim.RoundTripp
 	return errors.Join(errs...)
 }
 
+// ExchangeOptions derives the i-th exchange's crawl options from the base
+// — the same derivation CrawlAll and CrawlAllStream apply internally —
+// exported so external coordinators (the core fleet scheduler) that crawl
+// exchanges one at a time produce record streams identical to a full
+// concurrent crawl, shard by shard.
+func ExchangeOptions(base Options, i, steps int) Options {
+	return perExchangeOptions(base, i, steps)
+}
+
 // perExchangeOptions derives the i-th exchange's crawl options from the
 // base: its own step budget, account and IP. Shared by CrawlAll and
 // CrawlAllStream so both produce identical record streams.

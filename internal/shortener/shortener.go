@@ -128,6 +128,54 @@ func (s *Service) Handler() httpsim.Handler {
 	}
 }
 
+// MergeHits folds an externally recorded hit delta into a link's
+// statistics: a hit total plus referrer/country breakdowns. This is how a
+// fleet shard merge replays crawl-time traffic another process recorded,
+// without re-crawling. The delta must be internally consistent — each
+// live hit records at most one referrer and one country, so the breakdown
+// totals may not exceed hits, and no count may be negative; inconsistent
+// deltas (crafted or corrupted shard files) are refused rather than
+// silently skewing Table IV.
+func (s *Service) MergeHits(code string, hits int, referrers, countries map[string]int) error {
+	if hits < 0 {
+		return fmt.Errorf("shortener: merge on %s: negative hit count %d", s.host, hits)
+	}
+	if err := validDelta("referrer", referrers, hits); err != nil {
+		return fmt.Errorf("shortener: merge %q on %s: %w", code, s.host, err)
+	}
+	if err := validDelta("country", countries, hits); err != nil {
+		return fmt.Errorf("shortener: merge %q on %s: %w", code, s.host, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.links[code]
+	if !ok {
+		return fmt.Errorf("shortener: merge: unknown code %q on %s", code, s.host)
+	}
+	l.hits += hits
+	for k, n := range referrers {
+		l.referrers.AddN(k, n)
+	}
+	for k, n := range countries {
+		l.countries.AddN(k, n)
+	}
+	return nil
+}
+
+func validDelta(what string, m map[string]int, hits int) error {
+	total := 0
+	for k, n := range m {
+		if n < 0 {
+			return fmt.Errorf("negative %s count %d for %q", what, n, k)
+		}
+		total += n
+	}
+	if total > hits {
+		return fmt.Errorf("%s breakdown attributes %d of %d hits", what, total, hits)
+	}
+	return nil
+}
+
 // HitStats is the public statistics row of Table IV.
 type HitStats struct {
 	ShortURL string

@@ -25,8 +25,14 @@ func NewCounter() *Counter {
 // Add increments key by one.
 func (c *Counter) Add(key string) { c.AddN(key, 1) }
 
-// AddN increments key by n.
+// AddN increments key by n. A zero increment is a no-op: it must not
+// materialize a phantom zero-count key — those would surface in Items(),
+// Len() and every rendered breakdown, and checkpoint/shard payloads are
+// allowed to carry zero counts.
 func (c *Counter) AddN(key string, n int) {
+	if n == 0 {
+		return
+	}
 	c.counts[key] += n
 	c.total += n
 }
