@@ -9,18 +9,25 @@
 package repro
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http/httptest"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/crawler"
 	"repro/internal/exchange"
 	"repro/internal/httpsim"
 	"repro/internal/jsengine"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/scanner"
+	"repro/internal/serve"
 	"repro/internal/simrand"
 	"repro/internal/web"
 )
@@ -505,6 +512,124 @@ func BenchmarkShardMerge(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+}
+
+// BenchmarkServeSoak drives the scan service end to end through its HTTP
+// API: 32 concurrent clients across 2 tenants submit 5,000 two-URL scan
+// jobs against a bounded queue of depth 64 and poll each job to
+// completion. The BENCH-guarded numbers of the serve-soak CI job are qps
+// (completed jobs per second, a min_benchmarks floor — deliberately loose
+// like BenchmarkShardMerge's, because it is wall-clock-derived and CI
+// machines vary) and p99-ms (windowed 99th-percentile job latency, a
+// maximum). Sheds are retried until accepted, so every op completes
+// exactly soakJobs jobs: qps measures sustained service throughput under
+// backpressure, not admission luck.
+func BenchmarkServeSoak(b *testing.B) {
+	const (
+		soakJobs    = 5000
+		soakClients = 32
+		soakTenants = 2
+		soakBatch   = 2
+	)
+	cfg := core.DefaultStudyConfig()
+	cfg.Seed = 1
+	cfg.Scale = 900
+	cfg.DriveShortenerTraffic = false
+	st, err := core.NewStudy(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var urls []string
+	for _, site := range st.Universe.Sites {
+		urls = append(urls, site.EntryURL)
+	}
+
+	jobLat := obs.NewRegistry().Histogram("bench.job_seconds")
+	completed := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache := core.NewShardedVerdictCache(core.ShardedCacheConfig{Capacity: 4096})
+		scanner := serve.NewScanner(st.Universe.Internet, st.Detector, cache, nil)
+		srv := serve.NewServer(scanner, serve.Config{QueueDepth: 64})
+		api := serve.APIHandler(srv)
+
+		var ticket atomic.Int64
+		var done atomic.Int64
+		var fail atomic.Value
+		var wg sync.WaitGroup
+		for c := 0; c < soakClients; c++ {
+			c := c
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				tenant := fmt.Sprintf("tenant-%d", c%soakTenants)
+				for {
+					n := ticket.Add(1)
+					if n > soakJobs {
+						return
+					}
+					batch := make([]string, soakBatch)
+					for j := range batch {
+						batch[j] = urls[(int(n)*7+j*3)%len(urls)]
+					}
+					body, _ := json.Marshal(serve.ScanRequest{URLs: batch})
+
+					var jobID string
+					t0 := time.Now()
+					for {
+						req := httptest.NewRequest("POST", "/api/v1/scan", bytes.NewReader(body))
+						req.Header.Set(serve.TenantHeader, tenant)
+						w := httptest.NewRecorder()
+						api.ServeHTTP(w, req)
+						if w.Code == 429 { // queue full: back off and retry
+							time.Sleep(100 * time.Microsecond)
+							continue
+						}
+						if w.Code != 202 {
+							fail.Store(fmt.Errorf("submit status %d: %s", w.Code, w.Body.String()))
+							return
+						}
+						var acc struct {
+							ID string `json:"id"`
+						}
+						if err := json.Unmarshal(w.Body.Bytes(), &acc); err != nil {
+							fail.Store(err)
+							return
+						}
+						jobID = acc.ID
+						break
+					}
+					for {
+						w := httptest.NewRecorder()
+						api.ServeHTTP(w, httptest.NewRequest("GET", "/api/v1/jobs/"+jobID, nil))
+						var job serve.Job
+						if err := json.Unmarshal(w.Body.Bytes(), &job); err != nil {
+							fail.Store(fmt.Errorf("poll %s: %w", jobID, err))
+							return
+						}
+						if job.State == serve.JobDone {
+							jobLat.ObserveDuration(time.Since(t0))
+							done.Add(1)
+							break
+						}
+						time.Sleep(200 * time.Microsecond)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		srv.Close()
+		if err := fail.Load(); err != nil {
+			b.Fatal(err)
+		}
+		if done.Load() != soakJobs {
+			b.Fatalf("completed %d jobs, want %d", done.Load(), soakJobs)
+		}
+		completed += soakJobs
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "qps")
+	b.ReportMetric(jobLat.Stats().P99*1000, "p99-ms")
 }
 
 // BenchmarkFullStudy measures the complete end-to-end reproduction

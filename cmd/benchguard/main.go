@@ -71,7 +71,7 @@ func parseBench(r io.Reader) (map[string]map[string]float64, error) {
 	return out, sc.Err()
 }
 
-func run(budgetPath, benchPath string) error {
+func run(budgetPath, benchPath, only string) error {
 	raw, err := os.ReadFile(budgetPath)
 	if err != nil {
 		return err
@@ -82,6 +82,22 @@ func run(budgetPath, benchPath string) error {
 	}
 	if budget.TolerancePct <= 0 {
 		return fmt.Errorf("%s: tolerance_pct must be positive", budgetPath)
+	}
+
+	// -only narrows the budget to entries matching the regex, so CI jobs
+	// that run disjoint benchmark subsets (perf-smoke vs serve-soak) can
+	// share one budget file without each failing on the other's entries.
+	// The every-entry-must-appear rule still applies within the selection.
+	if only != "" {
+		sel, err := regexp.Compile(only)
+		if err != nil {
+			return fmt.Errorf("bad -only regex: %w", err)
+		}
+		budget.Benchmarks = filterNames(budget.Benchmarks, sel)
+		budget.MinBenchmarks = filterNames(budget.MinBenchmarks, sel)
+		if len(budget.Benchmarks)+len(budget.MinBenchmarks) == 0 {
+			return fmt.Errorf("-only %q matches no budget entries in %s", only, budgetPath)
+		}
 	}
 
 	var in io.Reader = os.Stdin
@@ -161,6 +177,17 @@ func run(budgetPath, benchPath string) error {
 	return nil
 }
 
+// filterNames keeps only the budget entries whose name matches sel.
+func filterNames(m map[string]map[string]float64, sel *regexp.Regexp) map[string]map[string]float64 {
+	out := make(map[string]map[string]float64)
+	for name, v := range m {
+		if sel.MatchString(name) {
+			out[name] = v
+		}
+	}
+	return out
+}
+
 // lookup finds the measured metrics for a budget name: exact match first,
 // then the name with a "-<GOMAXPROCS>" suffix appended by go test.
 func lookup(measured map[string]map[string]float64, name string) (map[string]float64, bool) {
@@ -178,9 +205,10 @@ func lookup(measured map[string]map[string]float64, name string) (map[string]flo
 
 func main() {
 	budgetPath := flag.String("budget", "BENCH_5.json", "perf budget JSON file")
+	only := flag.String("only", "", "regex selecting which budget entries to enforce (default: all)")
 	flag.Parse()
 	benchPath := flag.Arg(0)
-	if err := run(*budgetPath, benchPath); err != nil {
+	if err := run(*budgetPath, benchPath, *only); err != nil {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
 		os.Exit(1)
 	}

@@ -59,7 +59,7 @@ func TestRunWithinBudget(t *testing.T) {
 		"BenchmarkStreamingStudy/scale-20": {"alloc-B/record": 4000, "B/op": 200000000}
 	}}`
 	bp, fp := writeFiles(t, budget, sampleBench)
-	if err := run(bp, fp); err != nil {
+	if err := run(bp, fp, ""); err != nil {
 		t.Fatalf("within-tolerance run failed: %v", err)
 	}
 }
@@ -69,7 +69,7 @@ func TestRunRegressionFails(t *testing.T) {
 		"BenchmarkStreamingStudy/scale-20": {"alloc-B/record": 3000}
 	}}`
 	bp, fp := writeFiles(t, budget, sampleBench)
-	if err := run(bp, fp); err == nil {
+	if err := run(bp, fp, ""); err == nil {
 		t.Fatal("4065 against a 3000 budget (+10%) must fail")
 	}
 }
@@ -79,7 +79,7 @@ func TestRunMissingBenchmarkFails(t *testing.T) {
 		"BenchmarkGone": {"B/op": 1}
 	}}`
 	bp, fp := writeFiles(t, budget, sampleBench)
-	if err := run(bp, fp); err == nil {
+	if err := run(bp, fp, ""); err == nil {
 		t.Fatal("missing benchmark must fail so budgets cannot be silently retired")
 	}
 }
@@ -89,7 +89,7 @@ func TestRunMissingMetricFails(t *testing.T) {
 		"BenchmarkStreamingStudy/scale-20": {"widgets/op": 5}
 	}}`
 	bp, fp := writeFiles(t, budget, sampleBench)
-	if err := run(bp, fp); err == nil {
+	if err := run(bp, fp, ""); err == nil {
 		t.Fatal("missing metric must fail")
 	}
 }
@@ -103,7 +103,7 @@ func TestRunMinWithinFloor(t *testing.T) {
 		"BenchmarkShardMerge": {"records/sec": 275000}
 	}}`
 	bp, fp := writeFiles(t, budget, sampleThroughput)
-	if err := run(bp, fp); err != nil {
+	if err := run(bp, fp, ""); err != nil {
 		t.Fatalf("280000 against a 275000 floor (-10%%) failed: %v", err)
 	}
 }
@@ -113,7 +113,7 @@ func TestRunMinRegressionFails(t *testing.T) {
 		"BenchmarkShardMerge": {"records/sec": 400000}
 	}}`
 	bp, fp := writeFiles(t, budget, sampleThroughput)
-	if err := run(bp, fp); err == nil {
+	if err := run(bp, fp, ""); err == nil {
 		t.Fatal("280000 against a 400000 floor (-10%) must fail")
 	}
 }
@@ -123,8 +123,37 @@ func TestRunMinMissingBenchmarkFails(t *testing.T) {
 		"BenchmarkGoneThroughput": {"records/sec": 1}
 	}}`
 	bp, fp := writeFiles(t, budget, sampleThroughput)
-	if err := run(bp, fp); err == nil {
+	if err := run(bp, fp, ""); err == nil {
 		t.Fatal("missing min benchmark must fail so floors cannot be silently retired")
+	}
+}
+
+// -only narrows enforcement to a budget subset, so CI jobs running
+// disjoint benchmark sets can share one budget file.
+func TestRunOnlySelectsSubset(t *testing.T) {
+	budget := `{"tolerance_pct": 10,
+		"benchmarks": {"BenchmarkStreamingStudy/scale-20": {"alloc-B/record": 4000}},
+		"min_benchmarks": {"BenchmarkGoneThroughput": {"qps": 1}}}`
+	bp, fp := writeFiles(t, budget, sampleBench)
+	// Unfiltered: the absent throughput benchmark fails the run.
+	if err := run(bp, fp, ""); err == nil {
+		t.Fatal("missing min benchmark must fail without -only")
+	}
+	// Filtered to the streaming entry: the absent one is out of scope.
+	if err := run(bp, fp, "^BenchmarkStreamingStudy"); err != nil {
+		t.Fatalf("-only run failed: %v", err)
+	}
+	// The must-appear rule still applies inside the selection.
+	if err := run(bp, fp, "^BenchmarkGoneThroughput"); err == nil {
+		t.Fatal("missing selected benchmark must still fail")
+	}
+	// A selection matching nothing is a configuration error, not a pass.
+	if err := run(bp, fp, "^BenchmarkNothingMatches$"); err == nil {
+		t.Fatal("empty selection must fail loudly")
+	}
+	// A malformed regex is rejected.
+	if err := run(bp, fp, "("); err == nil {
+		t.Fatal("bad regex accepted")
 	}
 }
 
@@ -137,7 +166,7 @@ func TestCommittedBudgetParses(t *testing.T) {
 	_ = fp
 	// The committed budget must be well-formed; the sample output predates
 	// the campaign for some metrics, so only check it loads and evaluates.
-	if err := run(bp, fp); err != nil && !strings.Contains(err.Error(), "violation") {
+	if err := run(bp, fp, ""); err != nil && !strings.Contains(err.Error(), "violation") {
 		t.Fatalf("committed budget failed to evaluate: %v", err)
 	}
 }

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ShardedCacheConfig tunes NewShardedVerdictCache.
+type ShardedCacheConfig struct {
+	// Shards is the number of independently-locked stripes. Rounded up to
+	// a power of two; <= 0 uses 16. More shards means less lock contention
+	// under concurrent scans at the cost of slightly coarser LRU ordering
+	// (each stripe maintains its own recency list).
+	Shards int
+	// Capacity is the total entry budget across all shards; <= 0 uses
+	// 4096. When a stripe exceeds its share, its least-recently-used
+	// entries are evicted.
+	Capacity int
+	// TTL bounds how long a completed verdict may be served. Zero or
+	// negative disables time-based expiry (capacity eviction still
+	// applies). Expiry is checked lazily on lookup.
+	TTL time.Duration
+	// Now overrides the clock (tests); nil uses time.Now.
+	Now func() time.Time
+	// Metrics, when set, mirrors the cache counters to
+	// verdictcache.{hits,misses,evictions,expired}.
+	Metrics *obs.Registry
+}
+
+// ShardedCacheStats is a point-in-time summary of cache effectiveness.
+type ShardedCacheStats struct {
+	// Hits counts lookups served from a live entry (including joins on an
+	// in-flight computation); Misses counts lookups that had to compute.
+	Hits   int64
+	Misses int64
+	// Evictions counts capacity-pressure removals; Expired counts entries
+	// dropped because their TTL lapsed.
+	Evictions int64
+	Expired   int64
+	// Entries is the current live-entry count across all shards.
+	Entries int
+}
+
+// HitRate is Hits / (Hits + Misses), or 0 on an empty cache.
+func (s ShardedCacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// ShardedVerdictCache is the PR-1 single-flight verdict memo generalized
+// into a long-lived concurrent LRU for the scan service: N mutex-striped
+// shards, per-stripe recency lists with capacity eviction, optional TTL
+// expiry, and hit/miss/evict counters. Single-flight semantics are
+// preserved — concurrent requesters of one key share a single computation
+// — so a burst of identical scan submissions costs one detector run.
+//
+// Unlike VerdictCache (scoped to one Analyze call, unbounded, keyed on
+// URL + content digest), this cache spans requests and bounds both entry
+// count and staleness, which is what makes it safe to reuse verdicts
+// across tenants: a verdict is a pure function of the key, and the TTL
+// caps how long a takedown or new blacklisting takes to be observed.
+type ShardedVerdictCache struct {
+	shards      []verdictShard
+	mask        uint64
+	perShardCap int
+	ttl         time.Duration
+	now         func() time.Time
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	expired   atomic.Int64
+
+	// obs mirrors, resolved once at construction (nil-safe no-ops when no
+	// registry was configured).
+	mHits, mMisses, mEvictions, mExpired *obs.Counter
+}
+
+type verdictShard struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+}
+
+// shardEntry is one cached (or in-flight) verdict. ready is closed when v
+// and expires are final; both are written exactly once, before the close,
+// so any reader that observed the close reads them race-free.
+type shardEntry struct {
+	key     string
+	ready   chan struct{}
+	v       Verdict
+	expires time.Time // zero when no TTL is configured
+}
+
+// NewShardedVerdictCache builds an empty cache.
+func NewShardedVerdictCache(cfg ShardedCacheConfig) *ShardedVerdictCache {
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 16
+	}
+	// Round up to a power of two so shard selection is a mask.
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	perShard := (capacity + n - 1) / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	c := &ShardedVerdictCache{
+		shards:      make([]verdictShard, n),
+		mask:        uint64(n - 1),
+		perShardCap: perShard,
+		ttl:         cfg.TTL,
+		now:         now,
+		mHits:       cfg.Metrics.Counter("verdictcache.hits"),
+		mMisses:     cfg.Metrics.Counter("verdictcache.misses"),
+		mEvictions:  cfg.Metrics.Counter("verdictcache.evictions"),
+		mExpired:    cfg.Metrics.Counter("verdictcache.expired"),
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*list.Element)
+		c.shards[i].lru = list.New()
+	}
+	return c
+}
+
+func (c *ShardedVerdictCache) shard(key string) *verdictShard {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum64()&c.mask]
+}
+
+// lookupLocked finds a live entry for key in sh, enforcing TTL lazily:
+// an expired entry is removed and reported as absent. Caller holds sh.mu.
+func (c *ShardedVerdictCache) lookupLocked(sh *verdictShard, key string) (*shardEntry, bool) {
+	el, ok := sh.entries[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*shardEntry)
+	stale := false
+	select {
+	case <-e.ready:
+		// Completed entry: enforce TTL lazily at lookup time.
+		stale = c.ttl > 0 && c.now().After(e.expires)
+	default:
+		// Still computing: joinable, never stale.
+	}
+	if stale {
+		sh.lru.Remove(el)
+		delete(sh.entries, key)
+		c.expired.Add(1)
+		c.mExpired.Inc()
+		return nil, false
+	}
+	sh.lru.MoveToFront(el)
+	return e, true
+}
+
+// Get returns the cached verdict for key without ever creating an entry.
+// A lookup that lands on an in-flight computation blocks until that
+// computation finishes and shares its result (a hit). Misses are NOT
+// counted against the miss counter — Get is the look-before-computing
+// half of a Get/GetOrCompute pair, and the follow-up GetOrCompute counts
+// the miss exactly once.
+func (c *ShardedVerdictCache) Get(key string) (Verdict, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	e, ok := c.lookupLocked(sh, key)
+	sh.mu.Unlock()
+	if !ok {
+		return Verdict{}, false
+	}
+	c.hits.Add(1)
+	c.mHits.Inc()
+	<-e.ready
+	return e.v, true
+}
+
+// GetOrCompute returns the cached verdict for key, computing it via
+// compute on a miss. The second return reports whether the verdict came
+// from the cache (a hit — including joining a computation already in
+// flight). compute runs outside all cache locks; concurrent callers with
+// the same key block until the single in-flight computation finishes and
+// then share its result.
+func (c *ShardedVerdictCache) GetOrCompute(key string, compute func() Verdict) (Verdict, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if e, ok := c.lookupLocked(sh, key); ok {
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		c.mHits.Inc()
+		<-e.ready
+		return e.v, true
+	}
+
+	e := &shardEntry{key: key, ready: make(chan struct{})}
+	el := sh.lru.PushFront(e)
+	sh.entries[key] = el
+	// Capacity eviction strips the stripe's least-recently-used tail.
+	// Evicting an entry that is still computing is harmless: its waiters
+	// hold the entry pointer and still receive the verdict; the entry is
+	// simply no longer findable for reuse.
+	for len(sh.entries) > c.perShardCap {
+		tail := sh.lru.Back()
+		if tail == nil || tail == el {
+			break
+		}
+		sh.lru.Remove(tail)
+		delete(sh.entries, tail.Value.(*shardEntry).key)
+		c.evictions.Add(1)
+		c.mEvictions.Inc()
+	}
+	sh.mu.Unlock()
+
+	c.misses.Add(1)
+	c.mMisses.Inc()
+	e.v = compute()
+	if c.ttl > 0 {
+		e.expires = c.now().Add(c.ttl)
+	}
+	close(e.ready)
+	return e.v, false
+}
+
+// Len returns the current number of live entries across all shards.
+func (c *ShardedVerdictCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns the counters observed so far plus the live entry count.
+func (c *ShardedVerdictCache) Stats() ShardedCacheStats {
+	return ShardedCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Expired:   c.expired.Load(),
+		Entries:   c.Len(),
+	}
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/testutil"
+)
+
+// fakeClock is an injectable, manually-advanced time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func verdictFor(id int) Verdict {
+	return Verdict{Malicious: id%2 == 0, VTPositives: id, VTTotal: 60}
+}
+
+func TestShardedCacheHitMiss(t *testing.T) {
+	c := NewShardedVerdictCache(ShardedCacheConfig{})
+	computes := 0
+	get := func(key string) (Verdict, bool) {
+		return c.GetOrCompute(key, func() Verdict {
+			computes++
+			return verdictFor(computes)
+		})
+	}
+
+	v1, hit := get("http://a.sim/")
+	if hit {
+		t.Fatal("first lookup reported a hit")
+	}
+	v2, hit := get("http://a.sim/")
+	if !hit {
+		t.Fatal("second lookup reported a miss")
+	}
+	if v1.VTPositives != v2.VTPositives {
+		t.Fatalf("hit returned a different verdict: %+v vs %+v", v1, v2)
+	}
+	if computes != 1 {
+		t.Fatalf("compute ran %d times, want 1", computes)
+	}
+	if _, hit := get("http://b.sim/"); hit {
+		t.Fatal("distinct key reported a hit")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 2 || s.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 hit / 2 misses / 2 entries", s)
+	}
+	if got := s.HitRate(); got != 1.0/3.0 {
+		t.Fatalf("hit rate = %v, want 1/3", got)
+	}
+}
+
+func TestShardedCacheSingleFlight(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	c := NewShardedVerdictCache(ShardedCacheConfig{Shards: 4, Capacity: 64})
+	var computes atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	const waiters = 16
+	var wg sync.WaitGroup
+	results := make([]Verdict, waiters)
+	for i := 0; i < waiters; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], _ = c.GetOrCompute("http://same.sim/", func() Verdict {
+				close(started)
+				<-release
+				computes.Add(1)
+				return verdictFor(7)
+			})
+		}()
+	}
+	<-started
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times under concurrency, want 1 (single flight)", n)
+	}
+	for i, v := range results {
+		if v.VTPositives != 7 {
+			t.Fatalf("waiter %d got verdict %+v, want the shared one", i, v)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != waiters-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d hits", s, waiters-1)
+	}
+}
+
+func TestShardedCacheLRUEviction(t *testing.T) {
+	// One shard so the LRU order is global and exact.
+	c := NewShardedVerdictCache(ShardedCacheConfig{Shards: 1, Capacity: 2})
+	get := func(key string) bool {
+		_, hit := c.GetOrCompute(key, func() Verdict { return Verdict{} })
+		return hit
+	}
+
+	get("a")
+	get("b")
+	get("a") // refresh a: LRU order is now [a, b]
+	get("c") // evicts b
+	if !get("a") {
+		t.Fatal("recently-used entry was evicted")
+	}
+	if get("b") {
+		t.Fatal("least-recently-used entry survived past capacity")
+	}
+	s := c.Stats()
+	if s.Evictions == 0 {
+		t.Fatalf("stats = %+v, want at least one eviction", s)
+	}
+	if s.Entries > 2 {
+		t.Fatalf("cache holds %d entries, capacity is 2", s.Entries)
+	}
+}
+
+func TestShardedCacheTTL(t *testing.T) {
+	clock := newFakeClock()
+	reg := obs.NewRegistry()
+	c := NewShardedVerdictCache(ShardedCacheConfig{
+		Shards: 1, Capacity: 8, TTL: time.Minute, Now: clock.Now, Metrics: reg,
+	})
+	computes := 0
+	get := func() bool {
+		_, hit := c.GetOrCompute("http://a.sim/", func() Verdict {
+			computes++
+			return verdictFor(computes)
+		})
+		return hit
+	}
+
+	get()
+	clock.Advance(30 * time.Second)
+	if !get() {
+		t.Fatal("entry within TTL reported a miss")
+	}
+	clock.Advance(31 * time.Second) // 61s past completion: expired
+	if get() {
+		t.Fatal("expired entry reported a hit")
+	}
+	if computes != 2 {
+		t.Fatalf("compute ran %d times, want 2 (one refresh after expiry)", computes)
+	}
+	s := c.Stats()
+	if s.Expired != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 expiry", s)
+	}
+	// The obs mirror tracks the internal counters exactly.
+	for name, want := range map[string]int64{
+		"verdictcache.hits":    s.Hits,
+		"verdictcache.misses":  s.Misses,
+		"verdictcache.expired": s.Expired,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("obs %s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestShardedCacheGetNeverCreates(t *testing.T) {
+	c := NewShardedVerdictCache(ShardedCacheConfig{Shards: 1, Capacity: 8})
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("Get on an empty cache reported a hit")
+	}
+	s := c.Stats()
+	if s.Misses != 0 || s.Entries != 0 {
+		t.Fatalf("Get created state: %+v", s)
+	}
+	c.GetOrCompute("k", func() Verdict { return verdictFor(3) })
+	v, ok := c.Get("k")
+	if !ok || v.VTPositives != 3 {
+		t.Fatalf("Get after compute = (%+v, %v), want the cached verdict", v, ok)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", s)
+	}
+}
+
+func TestShardedCacheGetExpiresEntries(t *testing.T) {
+	clock := newFakeClock()
+	c := NewShardedVerdictCache(ShardedCacheConfig{Shards: 1, Capacity: 8, TTL: time.Minute, Now: clock.Now})
+	c.GetOrCompute("k", func() Verdict { return verdictFor(1) })
+	clock.Advance(2 * time.Minute)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("Get returned an expired entry")
+	}
+	if s := c.Stats(); s.Expired != 1 || s.Entries != 0 {
+		t.Fatalf("stats = %+v, want 1 expired / 0 entries", s)
+	}
+}
+
+func TestShardedCacheZeroTTLNeverExpires(t *testing.T) {
+	clock := newFakeClock()
+	c := NewShardedVerdictCache(ShardedCacheConfig{Shards: 1, Capacity: 8, Now: clock.Now})
+	c.GetOrCompute("k", func() Verdict { return verdictFor(1) })
+	clock.Advance(1000 * time.Hour)
+	if _, hit := c.GetOrCompute("k", func() Verdict { return verdictFor(2) }); !hit {
+		t.Fatal("TTL-less entry expired")
+	}
+}
+
+func TestShardedCacheConcurrentStress(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	c := NewShardedVerdictCache(ShardedCacheConfig{Shards: 8, Capacity: 32, TTL: time.Hour})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("http://site-%d.sim/", (g*7+i)%64)
+				v, _ := c.GetOrCompute(key, func() Verdict { return verdictFor(i) })
+				_ = v
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Hits+s.Misses != 8*500 {
+		t.Fatalf("hits+misses = %d, want %d", s.Hits+s.Misses, 8*500)
+	}
+	if s.Entries > 32+8 { // per-shard rounding can overshoot by at most one per shard
+		t.Fatalf("cache holds %d entries, capacity 32 across 8 shards", s.Entries)
+	}
+}

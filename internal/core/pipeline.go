@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/crawler"
 	"repro/internal/obs"
+	"repro/internal/urlutil"
 )
 
 // CacheStats summarizes verdict-cache effectiveness for one Analyze call.
@@ -71,12 +72,24 @@ func (c *VerdictCache) Stats() CacheStats {
 	return CacheStats{Hits: int(c.hits.Load()), Misses: int(c.misses.Load())}
 }
 
-// verdictKey derives the cache key for a record: the entry URL plus a
-// digest of every other record field Inspect consumes (final URL, content
-// type, redirect count, body). Two records agreeing on the key are
+// verdictKey derives the cache key for a record: the normalized entry URL
+// plus a digest of every other record field Inspect consumes (final URL,
+// content type, redirect count, body). Two records agreeing on the key are
 // indistinguishable to the detector, so sharing the verdict cannot change
 // any output relative to inspecting both.
+//
+// The entry URL is keyed on its urlutil.Normalize form: the detector only
+// ever consumes the URL through urlutil.Parse (host extraction, domain
+// lookup, shortener match), under which two spellings that normalize
+// identically — case-folded host, explicit default port — are the same
+// URL. Keying on the raw string made such pairs miss the cache and
+// double-counted cache.misses. URLs Normalize rejects fall back to the
+// raw spelling: an unparseable URL is at worst uncached, never wrong.
 func verdictKey(rec *crawler.Record) string {
+	entry := rec.EntryURL
+	if norm, err := urlutil.Normalize(entry); err == nil {
+		entry = norm
+	}
 	h := fnv.New64a()
 	h.Write([]byte(rec.FinalURL))
 	h.Write([]byte{0})
@@ -85,7 +98,7 @@ func verdictKey(rec *crawler.Record) string {
 	binary.LittleEndian.PutUint64(n[:], uint64(rec.Redirects))
 	h.Write(n[:])
 	h.Write(rec.Body)
-	return rec.EntryURL + "\x00" + strconv.FormatUint(h.Sum64(), 16)
+	return entry + "\x00" + strconv.FormatUint(h.Sum64(), 16)
 }
 
 // cacheable reports whether a record's inspection may be memoized. Only

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestZeroValueHistogramObserve is the regression test for the ring-write
+// panic: a zero-value Histogram has a nil window (len == cap == 0), and
+// Observe's old `len < cap` growth guard skipped the append and indexed
+// into the empty slice — index out of range on the very first sample.
+func TestZeroValueHistogramObserve(t *testing.T) {
+	var h Histogram
+	h.Observe(1.5)
+	h.Observe(0.5)
+	s := h.Stats()
+	if s.Count != 2 || s.Min != 0.5 || s.Max != 1.5 {
+		t.Fatalf("zero-value histogram stats = %+v, want count 2, min 0.5, max 1.5", s)
+	}
+	if s.P50 != 0.5 || s.P99 != 1.5 {
+		t.Fatalf("zero-value histogram quantiles = %+v", s)
+	}
+}
+
+// TestHistogramQuantileEdgeTable pins the empty-window and small-sample
+// quantile behavior the serve-latency histograms rely on: p99 of 0 or 1
+// samples must be well-defined, quantiles must stay within [min, max] of
+// the window, and must be monotone (p50 <= p95 <= p99).
+func TestHistogramQuantileEdgeTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []float64
+		want    HistStats // Count/Min/Max/P50/P95/P99 checked; Sum/Mean derived
+	}{
+		{
+			name:    "empty",
+			samples: nil,
+			want:    HistStats{},
+		},
+		{
+			name:    "single",
+			samples: []float64{0.25},
+			want:    HistStats{Count: 1, Min: 0.25, Max: 0.25, P50: 0.25, P95: 0.25, P99: 0.25},
+		},
+		{
+			name:    "single-zero",
+			samples: []float64{0},
+			want:    HistStats{Count: 1},
+		},
+		{
+			name:    "two",
+			samples: []float64{2, 1},
+			want:    HistStats{Count: 2, Min: 1, Max: 2, P50: 1, P95: 2, P99: 2},
+		},
+		{
+			name:    "negative",
+			samples: []float64{-1, 1},
+			want:    HistStats{Count: 2, Min: -1, Max: 1, P50: -1, P95: 1, P99: 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h Histogram
+			for _, v := range tc.samples {
+				h.Observe(v)
+			}
+			s := h.Stats()
+			if s.Count != tc.want.Count || s.Min != tc.want.Min || s.Max != tc.want.Max {
+				t.Fatalf("stats = %+v, want count/min/max of %+v", s, tc.want)
+			}
+			if s.P50 != tc.want.P50 || s.P95 != tc.want.P95 || s.P99 != tc.want.P99 {
+				t.Fatalf("quantiles = p50=%v p95=%v p99=%v, want %+v", s.P50, s.P95, s.P99, tc.want)
+			}
+			if !(s.P50 <= s.P95 && s.P95 <= s.P99) {
+				t.Fatalf("quantiles not monotone: %+v", s)
+			}
+		})
+	}
+}
+
+// TestHistogramWindowWrap drives the ring past histWindow and checks the
+// windowed quantiles reflect only the most recent histWindow samples while
+// count/min/max still span the whole run.
+func TestHistogramWindowWrap(t *testing.T) {
+	var h Histogram
+	// First histWindow samples are all 100; then histWindow more at 1.
+	for i := 0; i < histWindow; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < histWindow; i++ {
+		h.Observe(1)
+	}
+	s := h.Stats()
+	if s.Count != 2*histWindow {
+		t.Fatalf("count = %d, want %d", s.Count, 2*histWindow)
+	}
+	if s.Min != 1 || s.Max != 100 {
+		t.Fatalf("min/max = %v/%v, want 1/100 (whole-run)", s.Min, s.Max)
+	}
+	// The window now holds only 1s: every quantile must be 1.
+	if s.P50 != 1 || s.P99 != 1 {
+		t.Fatalf("wrapped-window quantiles = p50=%v p99=%v, want 1/1", s.P50, s.P99)
+	}
+
+	// A few more wrap steps: 11 outliers (just over 1% of the window)
+	// overwrite the oldest slots, which must push p99 to the outlier value
+	// while p50 stays at the bulk.
+	for i := 0; i < 11; i++ {
+		h.Observe(50)
+	}
+	s = h.Stats()
+	if s.P99 != 50 {
+		t.Fatalf("p99 with >1%% outliers in a full window = %v, want 50", s.P99)
+	}
+	if s.P50 != 1 {
+		t.Fatalf("p50 with >1%% outliers = %v, want 1", s.P50)
+	}
+}
+
+// TestHistogramPartialWindowQuantiles checks nearest-rank quantiles on a
+// partially-filled window stay in range for every prefix size.
+func TestHistogramPartialWindowQuantiles(t *testing.T) {
+	var h Histogram
+	for n := 1; n <= 64; n++ {
+		h.Observe(float64(n))
+		s := h.Stats()
+		if s.P50 < 1 || s.P99 > float64(n) {
+			t.Fatalf("n=%d: quantiles out of range: %+v", n, s)
+		}
+		if math.IsNaN(s.Mean) || s.Mean < 1 || s.Mean > float64(n) {
+			t.Fatalf("n=%d: mean out of range: %v", n, s.Mean)
+		}
+	}
+}

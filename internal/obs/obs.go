@@ -189,12 +189,12 @@ const histWindow = 1024
 
 // Histogram records float64 observations (by convention seconds, metric
 // names suffixed `_seconds`) in a fixed-size ring window. Quantiles are
-// windowed; Count, Sum, Min and Max span every observation.
+// windowed; Count, Sum, Min and Max span every observation. The zero
+// value is ready to use (the window is grown on demand up to histWindow).
 type Histogram struct {
 	mu     sync.Mutex
 	window []float64
-	next   int  // next write position in window
-	filled bool // window has wrapped at least once
+	next   int // next write position once the window is full
 	count  int64
 	sum    float64
 	min    float64
@@ -220,7 +220,12 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
-	if len(h.window) < cap(h.window) {
+	// Grow until the ring reaches histWindow, then overwrite the oldest
+	// slot. The guard is against histWindow, not cap(): a zero-value
+	// Histogram starts with a nil window (len == cap == 0), and comparing
+	// against cap() sent it straight to the indexed write below — an
+	// index-out-of-range panic on the first Observe.
+	if len(h.window) < histWindow {
 		h.window = append(h.window, v)
 		return
 	}
@@ -228,7 +233,6 @@ func (h *Histogram) Observe(v float64) {
 	h.next++
 	if h.next == len(h.window) {
 		h.next = 0
-		h.filled = true
 	}
 }
 

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// TenantHeader names the header whose value selects the caller's rate
+// bucket. Absent or empty means the anonymous tenant.
+const TenantHeader = "X-Tenant"
+
+// maxScanBody bounds a scan-request body read: 32 URLs of generous length
+// fit comfortably; anything megabyte-sized is abuse, not a batch.
+const maxScanBody = 1 << 20
+
+// ScanRequest is the POST /api/v1/scan payload.
+type ScanRequest struct {
+	URLs []string `json:"urls"`
+}
+
+// apiError is the JSON error envelope: a stable machine-readable code
+// plus a human message.
+type apiError struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+// Error codes returned in apiError.Code.
+const (
+	CodeBadRequest  = "BAD_REQUEST"
+	CodeQueueFull   = "QUEUE_FULL"
+	CodeRateLimited = "RATE_LIMITED"
+	CodeDraining    = "DRAINING"
+	CodeNotFound    = "NOT_FOUND"
+)
+
+// DecodeScanRequest parses and validates a scan-request body: valid JSON,
+// a non-empty urls array within maxURLs, every URL non-empty after
+// trimming. Exported (rather than inlined in the handler) so the fuzz
+// target exercises exactly the production decode path.
+func DecodeScanRequest(body []byte, maxURLs int) (ScanRequest, error) {
+	var req ScanRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return ScanRequest{}, errors.New("invalid JSON: " + err.Error())
+	}
+	// A second document after the first is a malformed request, not
+	// trailing whitespace.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return ScanRequest{}, errors.New("trailing data after JSON body")
+	}
+	if len(req.URLs) == 0 {
+		return ScanRequest{}, errors.New("urls must be a non-empty array")
+	}
+	if maxURLs > 0 && len(req.URLs) > maxURLs {
+		return ScanRequest{}, errors.New("too many urls: " + strconv.Itoa(len(req.URLs)) +
+			" > " + strconv.Itoa(maxURLs))
+	}
+	for i, u := range req.URLs {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			return ScanRequest{}, errors.New("urls[" + strconv.Itoa(i) + "] is empty")
+		}
+		req.URLs[i] = u
+	}
+	return req, nil
+}
+
+// APIHandler returns the /api/v1/* handler tree for s:
+//
+//	POST /api/v1/scan      submit a batch → 202 {"id": "job-N", ...}
+//	GET  /api/v1/jobs/{id} poll a job     → 200 job (results when done)
+//	GET  /api/v1/stats     service + cache counters
+//
+// Load shedding is explicit: a full queue or an empty tenant bucket is
+// 429 with a Retry-After header and a machine-readable code; a draining
+// server is 503. The handler expects to be mounted at "/api/" (it matches
+// on full paths).
+func APIHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/scan", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeJSON(w, http.StatusMethodNotAllowed, apiError{CodeBadRequest, "POST only"})
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxScanBody+1))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{CodeBadRequest, "read body: " + err.Error()})
+			return
+		}
+		if len(body) > maxScanBody {
+			writeJSON(w, http.StatusRequestEntityTooLarge, apiError{CodeBadRequest, "body too large"})
+			return
+		}
+		req, err := DecodeScanRequest(body, s.MaxURLsPerRequest())
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{CodeBadRequest, err.Error()})
+			return
+		}
+
+		job, err := s.Submit(r.Header.Get(TenantHeader), req.URLs)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusAccepted, struct {
+				ID    string   `json:"id"`
+				State JobState `json:"state"`
+				URLs  int      `json:"urls"`
+			}{job.ID, JobQueued, len(req.URLs)})
+		case errors.Is(err, ErrQueueFull):
+			shed(w, s, apiError{CodeQueueFull, err.Error()})
+		case errors.Is(err, ErrRateLimited):
+			shed(w, s, apiError{CodeRateLimited, err.Error()})
+		case errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", retryAfterSeconds(s))
+			writeJSON(w, http.StatusServiceUnavailable, apiError{CodeDraining, err.Error()})
+		default:
+			writeJSON(w, http.StatusBadRequest, apiError{CodeBadRequest, err.Error()})
+		}
+	})
+	mux.HandleFunc("/api/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			writeJSON(w, http.StatusMethodNotAllowed, apiError{CodeBadRequest, "GET only"})
+			return
+		}
+		id := strings.TrimPrefix(r.URL.Path, "/api/v1/jobs/")
+		if id == "" || strings.Contains(id, "/") {
+			writeJSON(w, http.StatusNotFound, apiError{CodeNotFound, "no such job"})
+			return
+		}
+		job, ok := s.Job(id)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, apiError{CodeNotFound, "no such job: " + id})
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+	})
+	mux.HandleFunc("/api/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	// Anything else under /api/ is an unknown endpoint — a JSON 404, never
+	// a fall-through to the virtual web.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusNotFound, apiError{CodeNotFound, "unknown API endpoint: " + r.URL.Path})
+	})
+	return mux
+}
+
+func shed(w http.ResponseWriter, s *Server, e apiError) {
+	w.Header().Set("Retry-After", retryAfterSeconds(s))
+	writeJSON(w, http.StatusTooManyRequests, e)
+}
+
+// retryAfterSeconds renders the shed hint in whole seconds (HTTP's
+// Retry-After granularity), at least 1.
+func retryAfterSeconds(s *Server) string {
+	secs := int(s.RetryAfter().Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/httpsim"
+	"repro/internal/testutil"
+)
+
+// TestChaosBoundedQueue saturates the bounded queue from many concurrent
+// submitters over a fault-injected (flaky) universe and checks the
+// no-lost-jobs invariant: every admitted job terminates with a result per
+// URL, shed + admitted == attempted, and nothing leaks. Run under -race
+// in CI; the worker counts bracket the serial and parallel schedules.
+func TestChaosBoundedQueue(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			testutil.VerifyNoLeaks(t)
+
+			cfg := core.DefaultStudyConfig()
+			cfg.Seed = 2
+			cfg.Scale = 900
+			cfg.DriveShortenerTraffic = false
+			st, err := core.NewStudy(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			profile, ok := httpsim.ProfileByName("flaky")
+			if !ok {
+				t.Fatal("no flaky fault profile")
+			}
+			transport := httpsim.NewFaultInjector(st.Universe.Internet, profile, 2)
+
+			cache := core.NewShardedVerdictCache(core.ShardedCacheConfig{Capacity: 128})
+			scanner := NewScanner(transport, st.Detector, cache, nil)
+			srv := NewServer(scanner, Config{QueueDepth: 8, Workers: workers})
+
+			// URL material: every site in the tiny universe, cycled. Faults
+			// make a share of fetches fail — those jobs must still terminate
+			// with explicit error results.
+			var urls []string
+			for _, site := range st.Universe.Sites {
+				urls = append(urls, site.EntryURL)
+			}
+
+			const submitters = 16
+			const perSubmitter = 25
+			var attempted, admitted, shedErrs atomic.Int64
+			var mu sync.Mutex
+			var ids []string
+
+			var wg sync.WaitGroup
+			for g := 0; g < submitters; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perSubmitter; i++ {
+						batch := []string{
+							urls[(g*perSubmitter+i)%len(urls)],
+							urls[(g*perSubmitter+i*3+1)%len(urls)],
+						}
+						attempted.Add(1)
+						job, err := srv.Submit(fmt.Sprintf("tenant-%d", g%2), batch)
+						switch err {
+						case nil:
+							admitted.Add(1)
+							mu.Lock()
+							ids = append(ids, job.ID)
+							mu.Unlock()
+						case ErrQueueFull:
+							shedErrs.Add(1)
+						default:
+							t.Errorf("submit: %v", err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			srv.Close() // drain: every admitted job must finish
+
+			stats := srv.Stats()
+			if stats.Submitted != admitted.Load() {
+				t.Fatalf("stats.Submitted = %d, callers saw %d admissions", stats.Submitted, admitted.Load())
+			}
+			if stats.Shed != shedErrs.Load() {
+				t.Fatalf("stats.Shed = %d, callers saw %d sheds", stats.Shed, shedErrs.Load())
+			}
+			// The invariant: nothing vanished. Every attempt was either
+			// admitted (and completed during the drain) or shed.
+			if stats.Completed+stats.Shed != attempted.Load() {
+				t.Fatalf("completed %d + shed %d != attempted %d (lost jobs)",
+					stats.Completed, stats.Shed, attempted.Load())
+			}
+			if stats.Completed != stats.Submitted {
+				t.Fatalf("completed %d != submitted %d after drain", stats.Completed, stats.Submitted)
+			}
+			if stats.Queued != 0 {
+				t.Fatalf("queue not empty after drain: %d", stats.Queued)
+			}
+
+			// Every admitted job is done, with exactly one result per URL
+			// (fetch failures appear as explicit error results, not gaps).
+			for _, id := range ids {
+				job, ok := srv.Job(id)
+				if !ok {
+					t.Fatalf("admitted job %s vanished", id)
+				}
+				if job.State != JobDone {
+					t.Fatalf("job %s state = %s after drain, want done", id, job.State)
+				}
+				if len(job.Results) != 2 {
+					t.Fatalf("job %s has %d results, want 2", id, len(job.Results))
+				}
+			}
+
+			if stats.Cache == nil || stats.Cache.Hits == 0 {
+				t.Fatalf("cache saw no hits over %d urls cycled %d times: %+v",
+					len(urls), int(admitted.Load())*2/len(urls), stats.Cache)
+			}
+		})
+	}
+}

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// tenantLimiter is a per-tenant token bucket: each tenant (the X-Tenant
+// header value; "" is its own tenant) refills at rps tokens per second up
+// to burst, and every submission spends one token. Buckets are created
+// full on first sight so a new tenant's first burst is admitted.
+type tenantLimiter struct {
+	rps   float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newTenantLimiter(rps float64, burst int, now func() time.Time) *tenantLimiter {
+	return &tenantLimiter{
+		rps:     rps,
+		burst:   float64(burst),
+		now:     now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow spends one token from tenant's bucket, reporting whether one was
+// available.
+func (l *tenantLimiter) allow(tenant string) bool {
+	t := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: t}
+		l.buckets[tenant] = b
+	} else {
+		elapsed := t.Sub(b.last).Seconds()
+		if elapsed > 0 {
+			b.tokens += elapsed * l.rps
+			if b.tokens > l.burst {
+				b.tokens = l.burst
+			}
+			b.last = t
+		}
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

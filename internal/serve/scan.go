@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crawler"
+	"repro/internal/httpsim"
+	"repro/internal/obs"
+	"repro/internal/urlutil"
+)
+
+// URLResult is the per-URL outcome of a scan job — the JSON the jobs
+// endpoint returns for each submitted URL.
+type URLResult struct {
+	// URL is the submitted spelling; NormalizedURL the canonical form the
+	// verdict is keyed on.
+	URL           string `json:"url"`
+	NormalizedURL string `json:"normalizedUrl,omitempty"`
+	// Malicious and Category carry the detector verdict.
+	Malicious bool   `json:"malicious"`
+	Category  string `json:"category,omitempty"`
+	// Positives / Total is the multi-engine hit ratio; Blacklists names
+	// the lists containing the URL's domain.
+	Positives  int      `json:"positives,omitempty"`
+	Total      int      `json:"total,omitempty"`
+	Blacklists []string `json:"blacklists,omitempty"`
+	// FinalURL, Redirects and Status describe the fetch (empty on cache
+	// hits, which skip the network entirely).
+	FinalURL  string `json:"finalUrl,omitempty"`
+	Redirects int    `json:"redirects,omitempty"`
+	Status    int    `json:"status,omitempty"`
+	// Cached reports the verdict came from the sharded cache.
+	Cached bool `json:"cached,omitempty"`
+	// Error and ErrKind record a failed fetch (the URL still terminates
+	// with an explicit outcome; failures are never cached).
+	Error   string `json:"error,omitempty"`
+	ErrKind string `json:"errKind,omitempty"`
+}
+
+// URLScanner produces the result for one URL. Implementations must be
+// safe for concurrent use — the server's whole worker pool shares one.
+type URLScanner interface {
+	Scan(rawURL string) URLResult
+}
+
+// CacheStatsProvider is optionally implemented by scanners that expose
+// verdict-cache effectiveness (surfaced in the /api/v1/stats payload).
+type CacheStatsProvider interface {
+	CacheStats() (core.ShardedCacheStats, bool)
+}
+
+// Scanner turns one URL into a URLResult: normalize, consult the sharded
+// verdict cache, on a miss fetch through the transport with the crawl
+// browser UA and run the detector stack, then publish the verdict back to
+// the cache. Safe for concurrent use.
+type Scanner struct {
+	client   *httpsim.Client
+	detector *core.Detector
+	cache    *core.ShardedVerdictCache
+	metrics  *obs.Registry
+}
+
+// NewScanner assembles a scanner over a transport (the virtual internet,
+// optionally fault-injected) and a detector. cache may be nil to disable
+// verdict reuse; metrics may be nil.
+func NewScanner(transport httpsim.RoundTripper, det *core.Detector,
+	cache *core.ShardedVerdictCache, metrics *obs.Registry) *Scanner {
+	client := crawler.NewClient(transport)
+	client.Budget = 15 * time.Second
+	return &Scanner{client: client, detector: det, cache: cache, metrics: metrics}
+}
+
+// fetchKind buckets a fetch error for the serve-path failure counters,
+// mirroring the crawler's crawl-health taxonomy.
+func fetchKind(err error) string {
+	switch {
+	case errors.Is(err, httpsim.ErrNoHost):
+		return "no-host"
+	case errors.Is(err, httpsim.ErrBadURL):
+		return "bad-url"
+	case errors.Is(err, httpsim.ErrConnReset):
+		return "conn-reset"
+	case errors.Is(err, httpsim.ErrTimeout):
+		return "timeout"
+	case errors.Is(err, httpsim.ErrTruncated):
+		return "truncated"
+	case errors.Is(err, httpsim.ErrRedirectLoop):
+		return "redirect-loop"
+	case errors.Is(err, httpsim.ErrTooManyRedirects):
+		return "redirect-overflow"
+	case errors.Is(err, httpsim.ErrBudget):
+		return "deadline"
+	default:
+		return "transport"
+	}
+}
+
+// Scan produces the result for one URL. The cache is consulted before any
+// network traffic; fetch failures return an explicit error result and are
+// never cached (the next submission of the same URL retries the fetch),
+// while successful scans are published under the normalized URL so every
+// later spelling of the same page is a hit.
+func (s *Scanner) Scan(rawURL string) URLResult {
+	out := URLResult{URL: rawURL}
+	norm, err := urlutil.Normalize(rawURL)
+	if err != nil {
+		out.Error = err.Error()
+		out.ErrKind = "bad-url"
+		s.metrics.Counter("serve.scan.failed.bad-url").Inc()
+		return out
+	}
+	out.NormalizedURL = norm
+
+	if s.cache != nil {
+		if v, ok := s.cache.Get(norm); ok {
+			out.Cached = true
+			fillVerdict(&out, v)
+			return out
+		}
+	}
+
+	res, ferr := s.client.Do(norm, crawler.BrowserUA, "", 1)
+	if ferr != nil {
+		out.Error = ferr.Error()
+		out.ErrKind = fetchKind(ferr)
+		s.metrics.Counter("serve.scan.failed." + out.ErrKind).Inc()
+		return out
+	}
+	rec := crawler.Record{
+		EntryURL:    norm,
+		FinalURL:    res.FinalURL,
+		Redirects:   res.Redirects(),
+		Status:      res.Final.StatusCode,
+		ContentType: res.Final.ContentType,
+		Body:        res.Final.Body,
+		Attempts:    1,
+	}
+	out.FinalURL = rec.FinalURL
+	out.Redirects = rec.Redirects
+	out.Status = rec.Status
+
+	var v core.Verdict
+	if s.cache != nil {
+		// GetOrCompute single-flights the detector stack: a concurrent
+		// burst of the same URL runs Inspect once and shares the verdict.
+		// (Both submitters fetched — only successful fetches reach here —
+		// but the expensive half, the detector, is deduplicated.)
+		var hit bool
+		v, hit = s.cache.GetOrCompute(norm, func() core.Verdict {
+			s.metrics.Counter("serve.inspections").Inc()
+			return s.detector.Inspect(rec)
+		})
+		out.Cached = hit
+	} else {
+		s.metrics.Counter("serve.inspections").Inc()
+		v = s.detector.Inspect(rec)
+	}
+	fillVerdict(&out, v)
+	return out
+}
+
+// CacheStats reports the verdict cache's effectiveness; false when the
+// scanner was built without a cache.
+func (s *Scanner) CacheStats() (core.ShardedCacheStats, bool) {
+	if s.cache == nil {
+		return core.ShardedCacheStats{}, false
+	}
+	return s.cache.Stats(), true
+}
+
+func fillVerdict(out *URLResult, v core.Verdict) {
+	out.Malicious = v.Malicious
+	out.Category = string(v.Category)
+	out.Positives = v.VTPositives
+	out.Total = v.VTTotal
+	out.Blacklists = v.BlacklistHits
+}

@@ -1,0 +1,309 @@
+// Package serve turns the measurement pipeline into a scan service: a
+// batch scan API (submit URLs, poll for verdicts) over a bounded job
+// queue with explicit load shedding, per-tenant token-bucket rate limits,
+// and a graceful drain on shutdown. It is the serving half of the
+// slumserve binary — the crawl study runs offline over the whole virtual
+// internet; this package answers "is THIS URL malicious?" on demand,
+// reusing the same detector stack and amortizing repeat lookups through
+// the sharded verdict cache.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// QueueDepth bounds the number of jobs admitted but not yet finished.
+	// When the queue is full, Submit sheds load (the API layer turns that
+	// into 429 + Retry-After). <= 0 uses 64.
+	QueueDepth int
+	// Workers is the number of goroutines draining the queue; <= 0 uses
+	// GOMAXPROCS.
+	Workers int
+	// MaxURLsPerRequest caps the batch size of one scan submission; <= 0
+	// uses 32.
+	MaxURLsPerRequest int
+	// TenantRPS and TenantBurst configure the per-tenant token bucket
+	// (refill rate per second and bucket capacity). TenantRPS <= 0
+	// disables rate limiting; TenantBurst <= 0 uses max(TenantRPS, 1).
+	TenantRPS   float64
+	TenantBurst int
+	// RetryAfter is the hint returned with shed responses; <= 0 uses 1s.
+	RetryAfter time.Duration
+	// Metrics receives serve.* counters and latency histograms; nil-safe.
+	Metrics *obs.Registry
+	// Now overrides the clock (tests); nil uses time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxURLsPerRequest <= 0 {
+		c.MaxURLsPerRequest = 32
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// JobState is the lifecycle of a scan job.
+type JobState string
+
+const (
+	// JobQueued: admitted, waiting for a worker.
+	JobQueued JobState = "queued"
+	// JobRunning: a worker is scanning its URLs.
+	JobRunning JobState = "running"
+	// JobDone: every URL has a result.
+	JobDone JobState = "done"
+)
+
+// Job is one admitted scan batch. Fields other than the atomic state are
+// written by exactly one goroutine at a time (the submitter before
+// enqueue, then the single worker that dequeues it); readers snapshot
+// through the server's job lock.
+type Job struct {
+	ID        string      `json:"id"`
+	Tenant    string      `json:"tenant,omitempty"`
+	State     JobState    `json:"state"`
+	Submitted time.Time   `json:"submitted"`
+	Started   time.Time   `json:"started,omitempty"`
+	Finished  time.Time   `json:"finished,omitempty"`
+	URLs      []string    `json:"-"`
+	Results   []URLResult `json:"results,omitempty"`
+}
+
+// Submit outcomes, surfaced by the API layer as distinct HTTP statuses.
+var (
+	// ErrQueueFull: the bounded queue is at depth — shed (429).
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrRateLimited: the tenant's token bucket is empty (429).
+	ErrRateLimited = errors.New("serve: tenant rate limited")
+	// ErrDraining: the server is shutting down (503).
+	ErrDraining = errors.New("serve: draining")
+	// ErrTooManyURLs: the batch exceeds MaxURLsPerRequest (400).
+	ErrTooManyURLs = errors.New("serve: too many urls in one request")
+	// ErrNoURLs: the batch is empty (400).
+	ErrNoURLs = errors.New("serve: no urls in request")
+)
+
+// Server owns the bounded job queue, the worker pool draining it, the
+// per-tenant rate limiter and the job table. Create with NewServer, stop
+// with Close (graceful drain: admitted jobs finish, new submissions are
+// refused).
+type Server struct {
+	cfg     Config
+	scanner URLScanner
+	limiter *tenantLimiter
+
+	// queue carries admitted jobs to the workers. drainMu guards the
+	// draining flag against the channel close: Submit sends while holding
+	// the read side, Close flips the flag and closes the channel under the
+	// write side, so a send on a closed channel is impossible.
+	queue    chan *Job
+	drainMu  sync.RWMutex
+	draining bool
+	wg       sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	nextID atomic.Int64
+
+	// Deterministic counters (also mirrored to Metrics): shed + completed
+	// must equal submitted once the server is drained — the no-lost-jobs
+	// invariant the chaos test pins.
+	submitted atomic.Int64
+	completed atomic.Int64
+	shed      atomic.Int64
+	limited   atomic.Int64
+
+	mSubmitted, mCompleted, mShed, mLimited *obs.Counter
+	hScan, hJob                             *obs.Histogram
+}
+
+// NewServer starts cfg.Workers workers over a fresh bounded queue.
+// scanner must be non-nil.
+func NewServer(scanner URLScanner, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:        cfg,
+		scanner:    scanner,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		jobs:       make(map[string]*Job),
+		mSubmitted: cfg.Metrics.Counter("serve.jobs.submitted"),
+		mCompleted: cfg.Metrics.Counter("serve.jobs.completed"),
+		mShed:      cfg.Metrics.Counter("serve.jobs.shed"),
+		mLimited:   cfg.Metrics.Counter("serve.jobs.ratelimited"),
+		hScan:      cfg.Metrics.Histogram("serve.scan_seconds"),
+		hJob:       cfg.Metrics.Histogram("serve.job_seconds"),
+	}
+	if cfg.TenantRPS > 0 {
+		burst := cfg.TenantBurst
+		if burst <= 0 {
+			burst = int(cfg.TenantRPS)
+			if burst < 1 {
+				burst = 1
+			}
+		}
+		s.limiter = newTenantLimiter(cfg.TenantRPS, burst, cfg.Now)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// RetryAfter is the shed-response hint (seconds granularity at the API).
+func (s *Server) RetryAfter() time.Duration { return s.cfg.RetryAfter }
+
+// MaxURLsPerRequest is the admitted batch-size cap.
+func (s *Server) MaxURLsPerRequest() int { return s.cfg.MaxURLsPerRequest }
+
+// Submit validates and admits a batch of URLs for tenant, returning the
+// job. Admission order: batch validation (caller bugs are never billed),
+// rate limit (cheap, protects the queue from one noisy tenant), then the
+// bounded queue itself. A full queue sheds immediately rather than
+// blocking — the caller gets Retry-After and the accepted jobs keep their
+// latency.
+func (s *Server) Submit(tenant string, urls []string) (*Job, error) {
+	if len(urls) == 0 {
+		return nil, ErrNoURLs
+	}
+	if len(urls) > s.cfg.MaxURLsPerRequest {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooManyURLs, len(urls), s.cfg.MaxURLsPerRequest)
+	}
+	if s.limiter != nil && !s.limiter.allow(tenant) {
+		s.limited.Add(1)
+		s.mLimited.Inc()
+		return nil, ErrRateLimited
+	}
+
+	job := &Job{
+		ID:        fmt.Sprintf("job-%d", s.nextID.Add(1)),
+		Tenant:    tenant,
+		State:     JobQueued,
+		Submitted: s.cfg.Now(),
+		URLs:      urls,
+	}
+
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	select {
+	case s.queue <- job:
+		s.submitted.Add(1)
+		s.mSubmitted.Inc()
+	default:
+		s.shed.Add(1)
+		s.mShed.Inc()
+		return nil, ErrQueueFull
+	}
+	s.mu.Lock()
+	s.jobs[job.ID] = job
+	s.mu.Unlock()
+	return job, nil
+}
+
+// Job returns a consistent snapshot of the named job (results are shared,
+// not copied — workers never mutate a result slice after publishing it).
+func (s *Server) Job(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		start := s.cfg.Now()
+		s.mu.Lock()
+		job.State = JobRunning
+		job.Started = start
+		s.mu.Unlock()
+
+		results := make([]URLResult, len(job.URLs))
+		for i, u := range job.URLs {
+			t0 := s.cfg.Now()
+			results[i] = s.scanner.Scan(u)
+			s.hScan.ObserveDuration(s.cfg.Now().Sub(t0))
+		}
+
+		end := s.cfg.Now()
+		s.mu.Lock()
+		job.Results = results
+		job.State = JobDone
+		job.Finished = end
+		s.mu.Unlock()
+		s.hJob.ObserveDuration(end.Sub(start))
+		s.completed.Add(1)
+		s.mCompleted.Inc()
+	}
+}
+
+// Close drains the server: new submissions are refused with ErrDraining,
+// every already-admitted job runs to completion, and Close returns once
+// the workers have exited. Safe to call more than once.
+func (s *Server) Close() {
+	s.drainMu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		close(s.queue)
+	}
+	s.drainMu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats is a point-in-time service summary (the /api/v1/stats payload).
+type Stats struct {
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Shed      int64 `json:"shed"`
+	Limited   int64 `json:"rateLimited"`
+	Queued    int   `json:"queued"`
+	// Cache summarizes the verdict cache when one is configured.
+	Cache *core.ShardedCacheStats `json:"cache,omitempty"`
+}
+
+// Stats snapshots the service counters and, when the scanner has a cache,
+// its effectiveness numbers.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Submitted: s.submitted.Load(),
+		Completed: s.completed.Load(),
+		Shed:      s.shed.Load(),
+		Limited:   s.limited.Load(),
+		Queued:    len(s.queue),
+	}
+	if p, ok := s.scanner.(CacheStatsProvider); ok {
+		if cs, has := p.CacheStats(); has {
+			st.Cache = &cs
+		}
+	}
+	return st
+}

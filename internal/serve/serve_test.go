@@ -1,0 +1,445 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/testutil"
+	"repro/internal/web"
+)
+
+// fakeClock is an injectable, manually-advanced time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// scanFunc adapts a function to URLScanner for test fakes.
+type scanFunc func(string) URLResult
+
+func (f scanFunc) Scan(u string) URLResult { return f(u) }
+
+// blockingScanner parks every Scan call until released — the tool for
+// saturating the bounded queue deterministically.
+type blockingScanner struct {
+	started chan string
+	release chan struct{}
+}
+
+func newBlockingScanner() *blockingScanner {
+	return &blockingScanner{started: make(chan string, 1024), release: make(chan struct{})}
+}
+
+func (b *blockingScanner) Scan(u string) URLResult {
+	b.started <- u
+	<-b.release
+	return URLResult{URL: u}
+}
+
+// newStudyScanner builds a Scanner over a tiny real universe, returning
+// it with the study for URL material.
+func newStudyScanner(t *testing.T, cache *core.ShardedVerdictCache, reg *obs.Registry) (*Scanner, *core.Study) {
+	t.Helper()
+	cfg := core.DefaultStudyConfig()
+	cfg.Seed = 2
+	cfg.Scale = 900
+	cfg.DriveShortenerTraffic = false
+	st, err := core.NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewScanner(st.Universe.Internet, st.Detector, cache, reg), st
+}
+
+func TestSubmitRunsJobToCompletion(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	cache := core.NewShardedVerdictCache(core.ShardedCacheConfig{Capacity: 64})
+	scanner, st := newStudyScanner(t, cache, nil)
+	srv := NewServer(scanner, Config{Workers: 2})
+	defer srv.Close()
+
+	benign := st.Universe.BenignSites()[0].EntryURL
+	mal := st.Universe.SitesOfKind(web.MaliciousJS)[0].EntryURL
+	job, err := srv.Submit("acme", []string{benign, mal, "http://no-such-host.sim/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := waitDone(t, srv, job.ID)
+	if len(snap.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(snap.Results))
+	}
+	if snap.Results[0].Malicious {
+		t.Fatalf("benign site flagged malicious: %+v", snap.Results[0])
+	}
+	if !snap.Results[1].Malicious {
+		t.Fatalf("malicious-JS site not flagged: %+v", snap.Results[1])
+	}
+	if snap.Results[2].ErrKind != "no-host" {
+		t.Fatalf("dead host errKind = %q, want no-host", snap.Results[2].ErrKind)
+	}
+
+	st2 := srv.Stats()
+	if st2.Submitted != 1 || st2.Completed != 1 || st2.Shed != 0 {
+		t.Fatalf("stats = %+v, want 1 submitted / 1 completed / 0 shed", st2)
+	}
+	if st2.Cache == nil || st2.Cache.Misses == 0 {
+		t.Fatalf("stats carry no cache numbers: %+v", st2)
+	}
+}
+
+// TestScanCacheReusesAcrossSpellings pins the serving-path reuse the
+// normalization bugfix enables: different spellings of one URL cost one
+// fetch + one detector run, and failures are never cached.
+func TestScanCacheReusesAcrossSpellings(t *testing.T) {
+	reg := obs.NewRegistry()
+	cache := core.NewShardedVerdictCache(core.ShardedCacheConfig{Capacity: 64})
+	scanner, st := newStudyScanner(t, cache, reg)
+
+	site := st.Universe.BenignSites()[0]
+	upper := "http://" + strings.ToUpper(site.Host) + ":80/"
+	r1 := scanner.Scan(site.EntryURL)
+	r2 := scanner.Scan(upper)
+	if r1.Error != "" || r2.Error != "" {
+		t.Fatalf("scans failed: %+v / %+v", r1, r2)
+	}
+	if r1.Cached || !r2.Cached {
+		t.Fatalf("cached flags = %v/%v, want false/true", r1.Cached, r2.Cached)
+	}
+	if r1.NormalizedURL != r2.NormalizedURL {
+		t.Fatalf("normalized keys differ: %q vs %q", r1.NormalizedURL, r2.NormalizedURL)
+	}
+	if n := reg.Counter("serve.inspections").Value(); n != 1 {
+		t.Fatalf("detector ran %d times for two spellings, want 1", n)
+	}
+
+	// A failed fetch is never cached: both attempts miss.
+	scanner.Scan("http://dead.sim/")
+	scanner.Scan("http://dead.sim/")
+	if cache.Len() != 1 {
+		t.Fatalf("cache holds %d entries after failed fetches, want 1", cache.Len())
+	}
+}
+
+func TestQueueFullSheds(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	bs := newBlockingScanner()
+	srv := NewServer(bs, Config{QueueDepth: 2, Workers: 1, RetryAfter: 3 * time.Second})
+
+	// Worker picks up the first job and parks; two more fill the queue.
+	if _, err := srv.Submit("t", []string{"http://a.sim/"}); err != nil {
+		t.Fatal(err)
+	}
+	<-bs.started
+	for i := 0; i < 2; i++ {
+		if _, err := srv.Submit("t", []string{"http://b.sim/"}); err != nil {
+			t.Fatalf("fill submission %d: %v", i, err)
+		}
+	}
+	// Queue at depth: the next submission sheds.
+	if _, err := srv.Submit("t", []string{"http://c.sim/"}); err != ErrQueueFull {
+		t.Fatalf("over-depth submit err = %v, want ErrQueueFull", err)
+	}
+	close(bs.release)
+	srv.Close()
+
+	st := srv.Stats()
+	if st.Submitted != 3 || st.Completed != 3 || st.Shed != 1 {
+		t.Fatalf("stats = %+v, want 3 submitted / 3 completed / 1 shed", st)
+	}
+}
+
+func TestPerTenantRateLimit(t *testing.T) {
+	clock := newFakeClock()
+	srv := NewServer(scanFunc(func(u string) URLResult { return URLResult{URL: u} }),
+		Config{Workers: 1, TenantRPS: 1, TenantBurst: 2, Now: clock.Now})
+	defer srv.Close()
+
+	urls := []string{"http://x.sim/"}
+	// Tenant A spends its burst of 2, then is limited.
+	for i := 0; i < 2; i++ {
+		if _, err := srv.Submit("a", urls); err != nil {
+			t.Fatalf("burst submission %d: %v", i, err)
+		}
+	}
+	if _, err := srv.Submit("a", urls); err != ErrRateLimited {
+		t.Fatalf("over-burst err = %v, want ErrRateLimited", err)
+	}
+	// Tenant B has its own bucket.
+	if _, err := srv.Submit("b", urls); err != nil {
+		t.Fatalf("other tenant blocked: %v", err)
+	}
+	// A second later, tenant A has one token again.
+	clock.Advance(time.Second)
+	if _, err := srv.Submit("a", urls); err != nil {
+		t.Fatalf("post-refill submit: %v", err)
+	}
+	if _, err := srv.Submit("a", urls); err != ErrRateLimited {
+		t.Fatalf("refill gave more than rps tokens: %v", err)
+	}
+	if st := srv.Stats(); st.Limited != 2 {
+		t.Fatalf("stats = %+v, want 2 rate-limited", st)
+	}
+}
+
+func TestDrainRefusesNewWork(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	srv := NewServer(scanFunc(func(u string) URLResult { return URLResult{URL: u} }),
+		Config{Workers: 2})
+	job, err := srv.Submit("t", []string{"http://a.sim/", "http://b.sim/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	// Admitted work finished during the drain...
+	snap, ok := srv.Job(job.ID)
+	if !ok || snap.State != JobDone || len(snap.Results) != 2 {
+		t.Fatalf("admitted job after drain = %+v, want done with 2 results", snap)
+	}
+	// ...and new work is refused, repeatedly and without panic.
+	for i := 0; i < 2; i++ {
+		if _, err := srv.Submit("t", []string{"http://c.sim/"}); err != ErrDraining {
+			t.Fatalf("post-drain submit err = %v, want ErrDraining", err)
+		}
+	}
+	srv.Close() // second Close is a no-op
+}
+
+func TestSubmitValidation(t *testing.T) {
+	srv := NewServer(scanFunc(func(u string) URLResult { return URLResult{URL: u} }),
+		Config{Workers: 1, MaxURLsPerRequest: 2})
+	defer srv.Close()
+	if _, err := srv.Submit("t", nil); err != ErrNoURLs {
+		t.Fatalf("empty batch err = %v, want ErrNoURLs", err)
+	}
+	batch := []string{"http://a.sim/", "http://b.sim/", "http://c.sim/"}
+	if _, err := srv.Submit("t", batch); err == nil || !strings.Contains(err.Error(), "too many") {
+		t.Fatalf("oversized batch err = %v, want ErrTooManyURLs", err)
+	}
+}
+
+// waitDone polls the job table until the job reports done.
+func waitDone(t *testing.T, srv *Server, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if j, ok := srv.Job(id); ok && j.State == JobDone {
+			return j
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return Job{}
+}
+
+// --- API layer ---
+
+func TestAPIScanSubmitAndPoll(t *testing.T) {
+	cache := core.NewShardedVerdictCache(core.ShardedCacheConfig{Capacity: 64})
+	scanner, st := newStudyScanner(t, cache, nil)
+	srv := NewServer(scanner, Config{Workers: 2})
+	defer srv.Close()
+	api := APIHandler(srv)
+
+	mal := st.Universe.SitesOfKind(web.MaliciousJS)[0].EntryURL
+	body := `{"urls": ["` + mal + `"]}`
+	w := httptest.NewRecorder()
+	api.ServeHTTP(w, httptest.NewRequest("POST", "/api/v1/scan", strings.NewReader(body)))
+	if w.Code != 202 {
+		t.Fatalf("submit = %d, want 202: %s", w.Code, w.Body.String())
+	}
+	var acc struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &acc); err != nil || acc.ID == "" {
+		t.Fatalf("submit response %q: %v", w.Body.String(), err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		w = httptest.NewRecorder()
+		api.ServeHTTP(w, httptest.NewRequest("GET", "/api/v1/jobs/"+acc.ID, nil))
+		if w.Code != 200 {
+			t.Fatalf("poll = %d: %s", w.Code, w.Body.String())
+		}
+		var job Job
+		if err := json.Unmarshal(w.Body.Bytes(), &job); err != nil {
+			t.Fatalf("poll response %q: %v", w.Body.String(), err)
+		}
+		if job.State == JobDone {
+			if len(job.Results) != 1 || !job.Results[0].Malicious {
+				t.Fatalf("job results = %+v, want one malicious verdict", job.Results)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Stats expose the service and cache counters.
+	w = httptest.NewRecorder()
+	api.ServeHTTP(w, httptest.NewRequest("GET", "/api/v1/stats", nil))
+	var stats Stats
+	if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
+		t.Fatalf("stats response %q: %v", w.Body.String(), err)
+	}
+	if stats.Completed != 1 || stats.Cache == nil {
+		t.Fatalf("stats = %+v, want 1 completed with cache numbers", stats)
+	}
+}
+
+func TestAPIShedsWithRetryAfter(t *testing.T) {
+	bs := newBlockingScanner()
+	srv := NewServer(bs, Config{QueueDepth: 1, Workers: 1, RetryAfter: 7 * time.Second})
+	api := APIHandler(srv)
+
+	post := func() *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/api/v1/scan", strings.NewReader(`{"urls":["http://a.sim/"]}`))
+		req.Header.Set(TenantHeader, "acme")
+		api.ServeHTTP(w, req)
+		return w
+	}
+	if w := post(); w.Code != 202 { // worker parks on this one
+		t.Fatalf("first submit = %d: %s", w.Code, w.Body.String())
+	}
+	<-bs.started
+	if w := post(); w.Code != 202 { // fills the queue
+		t.Fatalf("second submit = %d: %s", w.Code, w.Body.String())
+	}
+	w := post() // sheds
+	if w.Code != 429 {
+		t.Fatalf("over-depth submit = %d, want 429: %s", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After = %q, want \"7\"", got)
+	}
+	if !strings.Contains(w.Body.String(), CodeQueueFull) {
+		t.Fatalf("shed body = %q, want code %s", w.Body.String(), CodeQueueFull)
+	}
+	close(bs.release)
+	srv.Close()
+
+	// Draining server answers 503.
+	if w := post(); w.Code != 503 || !strings.Contains(w.Body.String(), CodeDraining) {
+		t.Fatalf("draining submit = %d %q, want 503 %s", w.Code, w.Body.String(), CodeDraining)
+	}
+}
+
+func TestAPIRateLimitedCode(t *testing.T) {
+	clock := newFakeClock()
+	srv := NewServer(scanFunc(func(u string) URLResult { return URLResult{URL: u} }),
+		Config{Workers: 1, TenantRPS: 1, TenantBurst: 1, Now: clock.Now})
+	defer srv.Close()
+	api := APIHandler(srv)
+
+	post := func(tenant string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/api/v1/scan", strings.NewReader(`{"urls":["http://a.sim/"]}`))
+		req.Header.Set(TenantHeader, tenant)
+		api.ServeHTTP(w, req)
+		return w
+	}
+	if w := post("acme"); w.Code != 202 {
+		t.Fatalf("first submit = %d", w.Code)
+	}
+	w := post("acme")
+	if w.Code != 429 || !strings.Contains(w.Body.String(), CodeRateLimited) {
+		t.Fatalf("limited submit = %d %q, want 429 %s", w.Code, w.Body.String(), CodeRateLimited)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("limited response carries no Retry-After")
+	}
+}
+
+func TestDecodeScanRequest(t *testing.T) {
+	cases := []struct {
+		name    string
+		body    string
+		maxURLs int
+		wantErr string
+		want    int // URL count on success
+	}{
+		{name: "valid", body: `{"urls":["http://a.sim/","http://b.sim/"]}`, maxURLs: 8, want: 2},
+		{name: "trims", body: `{"urls":[" http://a.sim/ "]}`, maxURLs: 8, want: 1},
+		{name: "bad-json", body: `{`, maxURLs: 8, wantErr: "invalid JSON"},
+		{name: "not-object", body: `[1,2]`, maxURLs: 8, wantErr: "invalid JSON"},
+		{name: "unknown-field", body: `{"urls":["http://a.sim/"],"x":1}`, maxURLs: 8, wantErr: "invalid JSON"},
+		{name: "trailing", body: `{"urls":["http://a.sim/"]} {"again":1}`, maxURLs: 8, wantErr: "trailing data"},
+		{name: "empty-array", body: `{"urls":[]}`, maxURLs: 8, wantErr: "non-empty"},
+		{name: "missing-urls", body: `{}`, maxURLs: 8, wantErr: "non-empty"},
+		{name: "too-many", body: `{"urls":["a","b","c"]}`, maxURLs: 2, wantErr: "too many"},
+		{name: "blank-url", body: `{"urls":["http://a.sim/",""]}`, maxURLs: 8, wantErr: "urls[1] is empty"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := DecodeScanRequest([]byte(tc.body), tc.maxURLs)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want contains %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected err: %v", err)
+			}
+			if len(req.URLs) != tc.want {
+				t.Fatalf("urls = %v, want %d", req.URLs, tc.want)
+			}
+			for _, u := range req.URLs {
+				if u != strings.TrimSpace(u) || u == "" {
+					t.Fatalf("url %q not trimmed/non-empty", u)
+				}
+			}
+		})
+	}
+}
+
+func FuzzScanRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"urls":["http://a.sim/"]}`))
+	f.Add([]byte(`{"urls":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"urls":[" ", "http://b.sim/x?q=1#f"]}`))
+	f.Add([]byte(`{"urls":["a"]}{"urls":["b"]}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := DecodeScanRequest(body, 32)
+		if err != nil {
+			return
+		}
+		// Decode accepted the body: its guarantees must hold.
+		if len(req.URLs) == 0 || len(req.URLs) > 32 {
+			t.Fatalf("accepted request with %d urls", len(req.URLs))
+		}
+		for i, u := range req.URLs {
+			if u == "" || u != strings.TrimSpace(u) {
+				t.Fatalf("accepted urls[%d] = %q (empty or untrimmed)", i, u)
+			}
+		}
+	})
+}
