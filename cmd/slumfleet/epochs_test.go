@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunEpochsFleetInvariance: a multi-epoch fleet study prints the same
+// bytes for every fleet size, with per-epoch shard directories carrying
+// the partitioned work.
+func TestRunEpochsFleetInvariance(t *testing.T) {
+	args := []string{"-scale", "1500", "-seed", "3", "-epochs", "2", "-churn", "0.4", "-blacklist-lag", "1"}
+	var two, three bytes.Buffer
+	if err := run(append([]string{"-fleet", "2"}, args...), &two); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-fleet", "3"}, args...), &three); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(two.Bytes(), three.Bytes()) {
+		t.Error("multi-epoch fleet output depends on fleet size")
+	}
+	for _, want := range []string{"=== EPOCH 1 ===", "LONGITUDINAL: MALICE RATE OVER EPOCHS"} {
+		if !strings.Contains(two.String(), want) {
+			t.Errorf("multi-epoch fleet output missing %q", want)
+		}
+	}
+}
+
+// TestRunEpochsRejectsJSON: the longitudinal fleet path refuses -json.
+func TestRunEpochsRejectsJSON(t *testing.T) {
+	if err := run([]string{"-scale", "1500", "-epochs", "2", "-json"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-json with -epochs > 1 accepted")
+	}
+}

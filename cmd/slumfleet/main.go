@@ -9,6 +9,7 @@
 //	slumfleet [-seed N] [-scale N] [-fleet N] [-faults PROFILE] [-retries N]
 //	          [-shard-dir DIR] [-checkpoint-every N] [-resume] [-keep-shards]
 //	          [-shards LIST] [-merge] [-json] [-metrics]
+//	          [-epochs N] [-churn F] [-blacklist-lag N] [-blacklist-decay F]
 //
 // With -shard-dir DIR each shard periodically persists its own SLUMCKPT
 // shard checkpoint under DIR; kill the fleet (any subset of workers, any
@@ -22,6 +23,14 @@
 // loads the shard files — no crawling — and prints the merged report.
 // Merging validates provenance: shards from a different seed,
 // configuration or partitioning are refused, as is the same shard twice.
+//
+// -epochs N (> 1) runs the fleet longitudinally: every epoch of the
+// churning universe (see slumreport -epochs) is itself a sharded fleet
+// run, with per-epoch shard subdirectories epoch000, epoch001, ...
+// under -shard-dir. -resume, -shards subsets and -merge all operate per
+// epoch inside those subdirectories, and the multi-epoch report is
+// byte-identical to slumreport -epochs for every fleet size. -json does
+// not combine with -epochs > 1.
 package main
 
 import (
@@ -30,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -64,6 +74,10 @@ func run(args []string, out io.Writer) error {
 	merge := fs.Bool("merge", false, "merge-only: load shard checkpoints under -shard-dir, skip crawling")
 	asJSON := fs.Bool("json", false, "emit every table and figure as JSON")
 	withMetrics := fs.Bool("metrics", false, "instrument the run and append a METRICS section")
+	epochs := fs.Int("epochs", 1, "number of simulated epochs (a longitudinal fleet study when > 1)")
+	churn := fs.Float64("churn", 0, "per-epoch probability a malicious site re-registers under a fresh domain")
+	blLag := fs.Int("blacklist-lag", 0, "epochs the blacklist databases and threat feed lag behind ground truth")
+	blDecay := fs.Float64("blacklist-decay", 0, "per-epoch-of-staleness erosion rate of lagged blacklist entries")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,9 +103,21 @@ func run(args []string, out io.Writer) error {
 	cfg.Retries = *retries
 	cfg.JSFuel = *jsFuel
 	cfg.JSHeapBytes = *jsHeap
+	cfg.Epochs = *epochs
+	cfg.ChurnFrac = *churn
+	cfg.BlacklistLag = *blLag
+	cfg.BlacklistDecay = *blDecay
 	if *withMetrics {
 		cfg.Metrics = obs.NewRegistry()
 		cfg.Tracer = obs.NewTracer()
+	}
+	if *epochs > 1 {
+		return runLongitudinalFleet(cfg, out, fleetFlags{
+			fleet: *fleet, shardDir: *shardDir, ckptEvery: *ckptEvery,
+			resume: *resume, abortAfter: *abortAfter, only: only,
+			onlySpec: *shards, keepShards: *keepShards, merge: *merge,
+			asJSON: *asJSON, withMetrics: *withMetrics,
+		})
 	}
 
 	var st *core.Study
@@ -151,6 +177,104 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, render())
 	}
 	if *withMetrics {
+		fmt.Fprintln(out, report.MetricsReport(obs.NewExport(cfg.Metrics, cfg.Tracer)))
+	}
+	return nil
+}
+
+// fleetFlags carries the CLI selections into the multi-epoch fleet path.
+type fleetFlags struct {
+	fleet       int
+	shardDir    string
+	ckptEvery   int
+	resume      bool
+	abortAfter  int
+	only        []int
+	onlySpec    string
+	keepShards  bool
+	merge       bool
+	asJSON      bool
+	withMetrics bool
+}
+
+// runLongitudinalFleet runs one fleet study per epoch (shard files land
+// under per-epoch subdirectories of -shard-dir, so kill/resume and
+// distributed -shards/-merge work per epoch exactly as they do for a
+// single-epoch fleet) and prints one report block per epoch followed by
+// the longitudinal time-series sections.
+func runLongitudinalFleet(cfg core.StudyConfig, out io.Writer, ff fleetFlags) error {
+	if ff.asJSON {
+		return fmt.Errorf("-json does not support -epochs > 1 yet")
+	}
+	if (ff.merge || len(ff.only) > 0) && ff.shardDir == "" {
+		return fmt.Errorf("-merge/-shards require -shard-dir DIR")
+	}
+	res := &core.LongitudinalResult{Config: cfg}
+	for e := 0; e < cfg.Epochs; e++ {
+		ecfg := cfg
+		ecfg.Epoch = e
+		dir := ff.shardDir
+		if dir != "" {
+			dir = filepath.Join(dir, fmt.Sprintf("epoch%03d", e))
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+		var st *core.Study
+		var err error
+		if ff.merge {
+			fmt.Fprintf(os.Stderr, "merging shards: seed=%d scale=%d epoch=%d dir=%s\n", ecfg.Seed, ecfg.Scale, e, dir)
+			st, err = core.MergeShardStudy(ecfg, dir)
+		} else {
+			fmt.Fprintf(os.Stderr, "running fleet: seed=%d scale=%d fleet=%d epoch=%d/%d (~%d URLs/epoch)...\n",
+				ecfg.Seed, ecfg.Scale, ff.fleet, e, cfg.Epochs, 1003087/ecfg.Scale)
+			st, err = core.RunStudyFleet(ecfg, core.FleetOptions{
+				Fleet:           ff.fleet,
+				ShardDir:        dir,
+				CheckpointEvery: ff.ckptEvery,
+				Resume:          ff.resume,
+				AbortAfter:      ff.abortAfter,
+				Only:            ff.only,
+				KeepShards:      ff.keepShards,
+			})
+		}
+		if err != nil {
+			return fmt.Errorf("epoch %d: %w", e, err)
+		}
+		if !ff.merge && len(ff.only) > 0 {
+			continue
+		}
+		res.Epochs = append(res.Epochs, core.OutcomeOf(st))
+	}
+	if len(ff.only) > 0 && !ff.merge {
+		fmt.Fprintf(os.Stderr, "shards %s written under %s for every epoch; run -merge once all shards are present\n",
+			ff.onlySpec, ff.shardDir)
+		return nil
+	}
+	for _, e := range res.Epochs {
+		fmt.Fprintf(out, "%s\n\n", report.EpochHeader(e.Epoch))
+		a := e.Analysis
+		short := e.ShortStats
+		for _, render := range []func() string{
+			func() string { return report.Headline(a) },
+			func() string { return report.Table1(a) },
+			func() string { return report.Table2(a) },
+			func() string { return report.Table3(a) },
+			func() string { return report.Table4(short) },
+			func() string { return report.Figure2(a) },
+			func() string { return report.Figure3(a) },
+			func() string { return report.Figure5(a) },
+			func() string { return report.Figure6(a) },
+			func() string { return report.Figure7(a) },
+			func() string { return report.CrawlHealthReport(a) },
+		} {
+			fmt.Fprintln(out, render())
+		}
+	}
+	fmt.Fprintln(out, report.LongitudinalOverview(res))
+	fmt.Fprintln(out, report.LongitudinalIntel(res))
+	fmt.Fprintln(out, report.LongitudinalBursts(res))
+	if ff.withMetrics {
 		fmt.Fprintln(out, report.MetricsReport(obs.NewExport(cfg.Metrics, cfg.Tracer)))
 	}
 	return nil

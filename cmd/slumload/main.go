@@ -30,6 +30,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -211,6 +212,35 @@ func drive(cfg loadConfig, base string, urls []string) (*loadResult, error) {
 	return res, nil
 }
 
+// retryAfterDelay converts a 429 response's Retry-After header into the
+// pause before the next submission. The server's advice is honored only
+// when it is a positive delay — an absent, malformed, zero or negative
+// header falls back to the configured shed wait so a lying server can
+// never turn the retry loop into a busy-spin — and it is clamped to the
+// time remaining before the deadline so a huge value cannot park the
+// client past the end of the run. Both the delta-seconds and HTTP-date
+// forms of the header are understood.
+func retryAfterDelay(header string, fallback, remaining time.Duration) time.Duration {
+	d := fallback
+	header = strings.TrimSpace(header)
+	if secs, err := strconv.Atoi(header); err == nil {
+		if secs > 0 {
+			d = time.Duration(secs) * time.Second
+		}
+	} else if t, err := http.ParseTime(header); err == nil {
+		if until := time.Until(t); until > 0 {
+			d = until
+		}
+	}
+	if d > remaining {
+		d = remaining
+	}
+	if d <= 0 {
+		d = fallback
+	}
+	return d
+}
+
 // submitAndPoll performs one scan submission (retrying sheds and rate
 // limits until accepted) and polls the job to completion.
 func submitAndPoll(httpc *http.Client, base, tenant string, batch []string,
@@ -255,7 +285,7 @@ func submitAndPoll(httpc *http.Client, base, tenant string, batch []string,
 			if time.Now().After(deadline) {
 				return fmt.Errorf("deadline exceeded while shed-retrying")
 			}
-			time.Sleep(cfg.shedWait)
+			time.Sleep(retryAfterDelay(resp.Header.Get("Retry-After"), cfg.shedWait, time.Until(deadline)))
 			atomic.AddInt64(&res.attempted, 1)
 			continue
 		default:

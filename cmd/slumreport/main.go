@@ -6,6 +6,7 @@
 //
 //	slumreport [-seed N] [-scale N] [-workers N] [-faults PROFILE] [-retries N] [-table N] [-figure N] [-metrics]
 //	           [-js-fuel N] [-js-heap N] [-stream] [-checkpoint FILE] [-resume] [-checkpoint-every N]
+//	           [-epochs N] [-churn F] [-blacklist-lag N] [-blacklist-decay F] [-delta-dir DIR]
 //
 // With no -table/-figure selection, everything is printed. -scale divides
 // the paper's crawl volumes (default 20: ~50k URLs, seconds of runtime;
@@ -36,6 +37,20 @@
 // pipeline over its shard, and the per-shard results merge into the same
 // byte-identical report for every N. For per-shard checkpointing,
 // kill/resume and distributed subsets, use the slumfleet command.
+//
+// -epochs N (> 1) runs a longitudinal study: the same universe advanced
+// through N epochs of deterministic churn (-churn re-registers malicious
+// sites under fresh domains, campaigns cycle rise/burst/takedown,
+// exchanges gain and lose members) against intel that lags ground truth
+// by -blacklist-lag epochs and erodes by -blacklist-decay per epoch of
+// staleness. One report block prints per epoch, followed by the
+// longitudinal time-series sections. -delta-dir DIR enables incremental
+// re-crawl: each epoch writes a SLUMCKPT epoch delta recording which
+// sites changed and the verdicts carried forward, so the next epoch only
+// re-scans changed pages — the report stays byte-identical to a full
+// re-crawl. -checkpoint composes with -epochs (the file is suffixed per
+// epoch; interrupted studies resume automatically on relaunch), while
+// -json and -fleet do not.
 package main
 
 import (
@@ -50,6 +65,7 @@ import (
 	"repro/internal/httpsim"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/shortener"
 )
 
 func main() {
@@ -78,6 +94,11 @@ func run(args []string, out io.Writer) error {
 	ckptEvery := fs.Int("checkpoint-every", 5000, "records between checkpoint writes")
 	abortAfter := fs.Int("abort-after", 0, "testing: abort the streaming run after N folded records, as a kill would")
 	fleet := fs.Int("fleet", 0, "run as a sharded fleet of N virtual workers (see slumfleet for checkpointing)")
+	epochs := fs.Int("epochs", 1, "number of simulated epochs (a longitudinal study when > 1)")
+	churn := fs.Float64("churn", 0, "per-epoch probability a malicious site re-registers under a fresh domain")
+	blLag := fs.Int("blacklist-lag", 0, "epochs the blacklist databases and threat feed lag behind ground truth")
+	blDecay := fs.Float64("blacklist-decay", 0, "per-epoch-of-staleness erosion rate of lagged blacklist entries")
+	deltaDir := fs.String("delta-dir", "", "directory for epoch deltas; enables incremental re-crawl between epochs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -100,9 +121,23 @@ func run(args []string, out io.Writer) error {
 	cfg.Retries = *retries
 	cfg.JSFuel = *jsFuel
 	cfg.JSHeapBytes = *jsHeap
+	cfg.Epochs = *epochs
+	cfg.ChurnFrac = *churn
+	cfg.BlacklistLag = *blLag
+	cfg.BlacklistDecay = *blDecay
 	if *withMetrics {
 		cfg.Metrics = obs.NewRegistry()
 		cfg.Tracer = obs.NewTracer()
+	}
+	if *epochs > 1 {
+		return runLongitudinal(cfg, out, longitudinalFlags{
+			deltaDir: *deltaDir, ckptPath: *ckptPath, ckptEvery: *ckptEvery,
+			abortAfter: *abortAfter, table: *table, figure: *figure,
+			asJSON: *asJSON, withMetrics: *withMetrics, fleet: *fleet,
+		})
+	}
+	if *deltaDir != "" {
+		return fmt.Errorf("-delta-dir requires -epochs > 1")
 	}
 	fmt.Fprintf(os.Stderr, "running study: seed=%d scale=%d (~%d URLs)...\n",
 		cfg.Seed, cfg.Scale, 1003087/cfg.Scale)
@@ -141,6 +176,21 @@ func run(args []string, out io.Writer) error {
 		return report.EncodeJSON(out, rep)
 	}
 
+	if !renderSections(out, a, a.ShortURLStats(st.Universe.Shorteners), *table, *figure) {
+		return fmt.Errorf("nothing matches -table %d -figure %d", *table, *figure)
+	}
+	// The METRICS section is strictly appended after every selected
+	// section, so output without -metrics is a byte-prefix of output with.
+	if *withMetrics {
+		fmt.Fprintln(out, report.MetricsReport(obs.NewExport(cfg.Metrics, cfg.Tracer)))
+	}
+	return nil
+}
+
+// renderSections prints the standard per-study report block — every table
+// and figure, or only the -table/-figure selection — and reports whether
+// anything matched.
+func renderSections(out io.Writer, a *core.Analysis, short []shortener.HitStats, table, figure int) bool {
 	sections := []struct {
 		table, figure int
 		render        func() string
@@ -149,7 +199,7 @@ func run(args []string, out io.Writer) error {
 		{1, 0, func() string { return report.Table1(a) }},
 		{2, 0, func() string { return report.Table2(a) }},
 		{3, 0, func() string { return report.Table3(a) }},
-		{4, 0, func() string { return report.Table4(a.ShortURLStats(st.Universe.Shorteners)) }},
+		{4, 0, func() string { return report.Table4(short) }},
 		{0, 2, func() string { return report.Figure2(a) }},
 		{0, 3, func() string { return report.Figure3(a) }},
 		{0, 5, func() string { return report.Figure5(a) }},
@@ -157,23 +207,71 @@ func run(args []string, out io.Writer) error {
 		{0, 7, func() string { return report.Figure7(a) }},
 		{0, 0, func() string { return report.CrawlHealthReport(a) }},
 	}
-	selected := *table != 0 || *figure != 0
+	selected := table != 0 || figure != 0
 	printed := false
 	for _, s := range sections {
-		if selected {
-			if s.table != *table || s.figure != *figure {
-				continue
-			}
+		if selected && (s.table != table || s.figure != figure) {
+			continue
 		}
 		fmt.Fprintln(out, s.render())
 		printed = true
 	}
-	if !printed {
-		return fmt.Errorf("nothing matches -table %d -figure %d", *table, *figure)
+	return printed
+}
+
+// longitudinalFlags carries the CLI selections into the multi-epoch path.
+type longitudinalFlags struct {
+	deltaDir    string
+	ckptPath    string
+	ckptEvery   int
+	abortAfter  int
+	table       int
+	figure      int
+	asJSON      bool
+	withMetrics bool
+	fleet       int
+}
+
+// runLongitudinal executes a multi-epoch study and prints one report
+// block per epoch followed by the longitudinal time-series sections.
+// Delta mode (-delta-dir) carries verdicts between epochs so unchanged
+// pages skip the detector stack; the printed report is byte-identical to
+// the full re-crawl either way. A -checkpoint file is suffixed per epoch
+// and interrupted studies resume automatically on relaunch.
+func runLongitudinal(cfg core.StudyConfig, out io.Writer, lf longitudinalFlags) error {
+	if lf.fleet > 0 {
+		return fmt.Errorf("-fleet does not combine with -epochs > 1 in slumreport; use slumfleet -epochs")
 	}
-	// The METRICS section is strictly appended after every selected
-	// section, so output without -metrics is a byte-prefix of output with.
-	if *withMetrics {
+	if lf.asJSON {
+		return fmt.Errorf("-json does not support -epochs > 1 yet")
+	}
+	fmt.Fprintf(os.Stderr, "running longitudinal study: seed=%d scale=%d epochs=%d churn=%g lag=%d (~%d URLs/epoch)...\n",
+		cfg.Seed, cfg.Scale, cfg.Epochs, cfg.ChurnFrac, cfg.BlacklistLag, 1003087/cfg.Scale)
+	res, err := core.RunLongitudinalStudy(cfg, core.LongitudinalOptions{
+		DeltaDir: lf.deltaDir,
+		Stream: core.StreamOptions{
+			CheckpointPath:  lf.ckptPath,
+			CheckpointEvery: lf.ckptEvery,
+			AbortAfter:      lf.abortAfter,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	printed := false
+	for _, e := range res.Epochs {
+		fmt.Fprintf(out, "%s\n\n", report.EpochHeader(e.Epoch))
+		printed = renderSections(out, e.Analysis, e.ShortStats, lf.table, lf.figure) || printed
+	}
+	if !printed {
+		return fmt.Errorf("nothing matches -table %d -figure %d", lf.table, lf.figure)
+	}
+	if lf.table == 0 && lf.figure == 0 {
+		fmt.Fprintln(out, report.LongitudinalOverview(res))
+		fmt.Fprintln(out, report.LongitudinalIntel(res))
+		fmt.Fprintln(out, report.LongitudinalBursts(res))
+	}
+	if lf.withMetrics {
 		fmt.Fprintln(out, report.MetricsReport(obs.NewExport(cfg.Metrics, cfg.Tracer)))
 	}
 	return nil

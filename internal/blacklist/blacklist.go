@@ -12,6 +12,7 @@
 package blacklist
 
 import (
+	"hash/fnv"
 	"sort"
 	"sync"
 
@@ -121,6 +122,24 @@ func (s *Set) Malicious(hostOrDomain string) bool {
 	return false
 }
 
+// Fingerprint digests the set's full content — every list name and its
+// sorted domains — into one value. Two sets with equal fingerprints are
+// indistinguishable to the detector, so the fingerprint (together with the
+// threat feed's) gates cross-epoch verdict reuse.
+func (s *Set) Fingerprint() uint64 {
+	h := fnv.New64a()
+	for _, l := range s.lists {
+		h.Write([]byte("l\x00" + l.name + "\x00"))
+		for _, d := range l.Domains() {
+			h.Write([]byte(d + "\x00"))
+		}
+	}
+	var t [1]byte
+	t[0] = byte(s.Threshold)
+	h.Write(t[:])
+	return h.Sum64()
+}
+
 // MaliciousURL is Malicious applied to a URL's host.
 func (s *Set) MaliciousURL(rawURL string) bool {
 	p, err := urlutil.Parse(rawURL)
@@ -147,6 +166,30 @@ type BuildConfig struct {
 	// list (stale entries, over-blocking). FPs are drawn independently
 	// per list, so consensus suppresses almost all of them.
 	FalsePositiveRate float64
+	// Staleness is how many epochs behind ground truth the feed this set
+	// was built from is running (a longitudinal study builds epoch N's
+	// lists from epoch N-lag's truth). It only matters when DecayPerEpoch
+	// is also set: each epoch of staleness independently erodes covered
+	// entries, modeling lists that are not just lagged but shrinking.
+	Staleness int
+	// DecayPerEpoch is the per-epoch probability that a covered bad-domain
+	// entry has rotted off a list, scaled by the list's decay weight (real
+	// lists curate at very different rates). Zero — the default, and the
+	// single-epoch configuration — draws nothing, so the epoch-0 rng
+	// streams are bit-identical to the pre-longitudinal generator.
+	DecayPerEpoch float64
+}
+
+// listDecayWeight scales DecayPerEpoch per list: aggressive curators lose
+// stale entries fast, archival lists barely at all. Weights are fixed so
+// the per-list decay profile is part of the deterministic universe.
+var listDecayWeight = map[string]float64{
+	"urlblacklist":         1.0,
+	"shallalist":           1.25,
+	"google-safe-browsing": 0.5,
+	"squidguard-mesd":      1.5,
+	"malware-domain-list":  0.75,
+	"zeus-tracker":         1.0,
 }
 
 // DefaultBuildConfig matches the calibration used by the experiments.
@@ -163,10 +206,23 @@ func BuildStandardSet(rng *simrand.Source, badDomains, benignDomains []string, c
 	for _, name := range StandardListNames {
 		l := NewList(name)
 		sub := rng.Sub("blacklist:" + name)
+		// Decay draws come from their own substream, created only when the
+		// staleness model is active: a zero-decay build performs exactly the
+		// draw sequence the pre-longitudinal generator did.
+		var decay *simrand.Source
+		decayP := 0.0
+		if cfg.Staleness > 0 && cfg.DecayPerEpoch > 0 {
+			decay = rng.Sub("decay:" + name)
+			decayP = perListDecayProb(name, cfg)
+		}
 		for _, d := range badDomains {
-			if sub.Bool(cfg.Coverage) {
-				l.Add(d)
+			if !sub.Bool(cfg.Coverage) {
+				continue
 			}
+			if decay != nil && decay.Bool(decayP) {
+				continue // entry rotted off the stale list
+			}
+			l.Add(d)
 		}
 		for _, d := range benignDomains {
 			if sub.Bool(cfg.FalsePositiveRate) {
@@ -176,4 +232,26 @@ func BuildStandardSet(rng *simrand.Source, badDomains, benignDomains []string, c
 		lists = append(lists, l)
 	}
 	return NewSet(lists...)
+}
+
+// perListDecayProb is the probability a covered entry has decayed off the
+// named list after cfg.Staleness epochs at the list's weighted per-epoch
+// decay rate: 1 - (1-rate)^staleness, clamped to [0, 1].
+func perListDecayProb(name string, cfg BuildConfig) float64 {
+	weight, ok := listDecayWeight[name]
+	if !ok {
+		weight = 1
+	}
+	rate := cfg.DecayPerEpoch * weight
+	if rate <= 0 {
+		return 0
+	}
+	if rate >= 1 {
+		return 1
+	}
+	keep := 1.0
+	for i := 0; i < cfg.Staleness; i++ {
+		keep *= 1 - rate
+	}
+	return 1 - keep
 }

@@ -166,3 +166,68 @@ func BenchmarkConsensusLookup(b *testing.B) {
 		s.Malicious("ok42.example")
 	}
 }
+
+// TestDecayStreamAlignment: a build with the staleness model disabled
+// (zero staleness or zero decay) must be bit-identical to a build that
+// never heard of the model — the decay substream is only created when both
+// knobs are set, so epoch-0 universes keep their pre-longitudinal bytes.
+func TestDecayStreamAlignment(t *testing.T) {
+	bad, ok := domainList("bad", 400), domainList("ok", 1200)
+	base := BuildStandardSet(simrand.New(7), bad, ok, DefaultBuildConfig())
+	for _, cfg := range []BuildConfig{
+		{Coverage: 0.75, FalsePositiveRate: 0.01, Staleness: 3},       // no decay rate
+		{Coverage: 0.75, FalsePositiveRate: 0.01, DecayPerEpoch: 0.2}, // no staleness
+		{Coverage: 0.75, FalsePositiveRate: 0.01},                     // neither
+	} {
+		got := BuildStandardSet(simrand.New(7), bad, ok, cfg)
+		if got.Fingerprint() != base.Fingerprint() {
+			t.Fatalf("cfg %+v perturbed the build: fingerprint %016x != %016x",
+				cfg, got.Fingerprint(), base.Fingerprint())
+		}
+	}
+}
+
+// TestDecayErodesCoverage: an active staleness model must strictly shrink
+// bad-domain coverage, deterministically, and more staleness must never
+// mean less decay.
+func TestDecayErodesCoverage(t *testing.T) {
+	bad, ok := domainList("bad", 500), domainList("ok", 100)
+	count := func(staleness int) int {
+		cfg := DefaultBuildConfig()
+		cfg.Staleness = staleness
+		cfg.DecayPerEpoch = 0.15
+		s := BuildStandardSet(simrand.New(3), bad, ok, cfg)
+		total := 0
+		for _, l := range s.Lists() {
+			total += l.Len()
+		}
+		return total
+	}
+	fresh, stale1, stale4 := count(0), count(1), count(4)
+	if !(stale4 < stale1 && stale1 < fresh) {
+		t.Fatalf("decay not monotone: fresh=%d stale1=%d stale4=%d", fresh, stale1, stale4)
+	}
+	if a, b := count(4), count(4); a != b {
+		t.Fatalf("decay not deterministic: %d vs %d", a, b)
+	}
+}
+
+// TestSetFingerprintSensitivity: the fingerprint must move on any content
+// change and stay put on none.
+func TestSetFingerprintSensitivity(t *testing.T) {
+	mk := func() *Set {
+		a, b := NewList("a"), NewList("b")
+		a.Add("evil.example")
+		b.Add("evil.example")
+		b.Add("worse.example")
+		return NewSet(a, b)
+	}
+	s1, s2 := mk(), mk()
+	if s1.Fingerprint() != s2.Fingerprint() {
+		t.Fatalf("identical sets disagree: %016x vs %016x", s1.Fingerprint(), s2.Fingerprint())
+	}
+	s2.Lists()[0].Add("new.example")
+	if s1.Fingerprint() == s2.Fingerprint() {
+		t.Fatalf("fingerprint blind to an added domain")
+	}
+}

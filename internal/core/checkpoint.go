@@ -38,9 +38,10 @@ const (
 type checkpointKind uint8
 
 const (
-	ckptAnalysis checkpointKind = 1
-	ckptCrawl    checkpointKind = 2
-	ckptShard    checkpointKind = 3
+	ckptAnalysis   checkpointKind = 1
+	ckptCrawl      checkpointKind = 2
+	ckptShard      checkpointKind = 3
+	ckptEpochDelta checkpointKind = 4
 )
 
 // Checkpoint is a decoded resume point: the folded accumulator state of a
@@ -58,6 +59,7 @@ type Checkpoint struct {
 	fold  *foldSnapshot
 	crawl []CrawlProgress
 	shard *shardSnapshot
+	delta *EpochDelta
 }
 
 // CrawlProgress is one exchange's cursor in a streaming dataset crawl.
@@ -108,16 +110,26 @@ func (c *Checkpoint) Validate(cfg StudyConfig) error {
 // checkpointHash fingerprints every StudyConfig field that shapes the
 // record stream or the analysis output. Workers and DisableVerdictCache
 // are excluded: the PR 1 determinism contract makes output invariant to
-// both, so resuming under a different worker count is sound.
+// both, so resuming under a different worker count is sound. The
+// longitudinal fields (epochs, epoch index, churn, blacklist lag/decay)
+// all shape the universe and therefore the stream, so a checkpoint taken
+// under one longitudinal configuration refuses to resume under another;
+// Epochs <= 0 normalizes to 1 so "no flag" and "-epochs 1" agree.
 func (cfg StudyConfig) checkpointHash() uint64 {
 	prof := cfg.FaultProfile
 	if prof == "" {
 		prof = "off"
 	}
+	epochs := cfg.Epochs
+	if epochs <= 0 {
+		epochs = 1
+	}
 	h := fnv.New64a()
 	fmt.Fprintf(h, "v%d|scale=%d|minmal=%d|minbenign=%d|short=%t|faults=%s|retries=%d",
 		checkpointVersion, cfg.Scale, cfg.MinMalPerPool, cfg.MinBenignPerPool,
 		cfg.DriveShortenerTraffic, prof, cfg.Retries)
+	fmt.Fprintf(h, "|epochs=%d|epoch=%d|churn=%g|lag=%d|decay=%g",
+		epochs, cfg.Epoch, cfg.ChurnFrac, cfg.BlacklistLag, cfg.BlacklistDecay)
 	return h.Sum64()
 }
 
@@ -643,6 +655,10 @@ func decodeCheckpoint(data []byte) (*Checkpoint, error) {
 		if c.shard, err = decodeShardPayload(r); err != nil {
 			return nil, err
 		}
+	case ckptEpochDelta:
+		if c.delta, err = decodeEpochDeltaPayload(r); err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("core: checkpoint: unknown payload kind %d", c.kind)
 	}
@@ -758,6 +774,8 @@ func (c *Checkpoint) KindName() string {
 		return "crawl"
 	case ckptShard:
 		return "shard"
+	case ckptEpochDelta:
+		return "epoch-delta"
 	}
 	return fmt.Sprintf("unknown(%d)", c.kind)
 }

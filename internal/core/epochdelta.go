@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Epoch deltas (SLUMCKPT kind 4) are the incremental-re-crawl record of a
+// longitudinal study: written by epoch N after a completed streaming run,
+// consumed by epoch N+1 to seed its verdict cache so only pages whose
+// content (or the intel layer behind the detector) changed are re-scanned.
+// The fold consumes nothing of a regular verdict beyond Malicious and
+// Category, and the verdict cache keys on (normalized entry URL, content
+// digest), so a carried verdict can never disagree with a fresh scan —
+// provided the detector itself is unchanged, which is what the IntelHash
+// gate enforces (engine signature subsets are drawn from the whole feed;
+// see web.Universe.IntelFingerprint).
+//
+//	payload :=
+//	  epoch        uvarint  epoch the delta was produced at
+//	  intelHash    u64      producer universe's intel fingerprint
+//	  changedHosts strs     hosts whose identity changed N-1 -> N (sorted)
+//	  nVerdicts    uvarint
+//	  verdicts     nVerdicts x { key str, malicious u8(0|1), category str }
+//	               sorted by key, keys unique
+//
+// The header's cfghash is the PRODUCER's config hash (Epoch = N). The
+// consumer at epoch N+1 validates by reconstructing the producer config
+// from its own (same longitudinal knobs, Epoch = N) and comparing hashes,
+// so a delta can never cross seeds, scales, churn schedules or lag
+// settings.
+
+// DeltaVerdict is one carried verdict: the cache key plus the two fields
+// the streaming fold consumes.
+type DeltaVerdict struct {
+	Key       string
+	Malicious bool
+	Category  string
+}
+
+// EpochDelta is a decoded kind-4 payload.
+type EpochDelta struct {
+	// Epoch is the epoch the delta was produced at.
+	Epoch int
+	// IntelHash fingerprints the producer universe's whole intelligence
+	// layer. Verdict reuse is sound only when the consumer's fingerprint
+	// matches — an engine rebuilt over a shifted feed scores differently
+	// on every URL, not just churned ones.
+	IntelHash uint64
+	// ChangedHosts lists the sites whose identity changed in the producer
+	// epoch's final churn pass (sorted). Informational: the verdict keys
+	// already enforce content equality, but the hosts give reports and
+	// operators the churn picture without rebuilding the universe.
+	ChangedHosts []string
+	// Verdicts carries every verdict the producer run actually used,
+	// sorted by cache key.
+	Verdicts []DeltaVerdict
+}
+
+func encodeEpochDeltaPayload(d *EpochDelta) []byte {
+	w := &ckptWriter{}
+	w.count(d.Epoch)
+	w.u64(d.IntelHash)
+	hosts := append([]string(nil), d.ChangedHosts...)
+	sort.Strings(hosts)
+	w.strs(hosts)
+	vs := append([]DeltaVerdict(nil), d.Verdicts...)
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Key < vs[j].Key })
+	w.count(len(vs))
+	for _, v := range vs {
+		w.str(v.Key)
+		if v.Malicious {
+			w.buf = append(w.buf, 1)
+		} else {
+			w.buf = append(w.buf, 0)
+		}
+		w.str(v.Category)
+	}
+	return w.buf
+}
+
+// decodeEpochDeltaPayload parses and structurally validates a kind-4
+// payload. Exercised directly by FuzzEpochDeltaDecode: malformed input
+// must produce an error, never a panic or a runaway allocation (the
+// count(min) bounds guard the two element counts).
+func decodeEpochDeltaPayload(r *ckptReader) (*EpochDelta, error) {
+	d := &EpochDelta{}
+	var err error
+	if d.Epoch, err = r.count(0); err != nil {
+		return nil, err
+	}
+	if d.IntelHash, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if d.ChangedHosts, err = r.strs(); err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(d.ChangedHosts); i++ {
+		if d.ChangedHosts[i-1] >= d.ChangedHosts[i] {
+			return nil, fmt.Errorf("core: epoch delta: changed hosts not sorted/unique at %d", i)
+		}
+	}
+	n, err := r.count(3)
+	if err != nil {
+		return nil, err
+	}
+	d.Verdicts = make([]DeltaVerdict, 0, n)
+	for i := 0; i < n; i++ {
+		var v DeltaVerdict
+		if v.Key, err = r.str(); err != nil {
+			return nil, err
+		}
+		if v.Key == "" {
+			return nil, fmt.Errorf("core: epoch delta: empty verdict key at %d", i)
+		}
+		if i > 0 && d.Verdicts[i-1].Key >= v.Key {
+			return nil, fmt.Errorf("core: epoch delta: verdict keys not sorted/unique at %d", i)
+		}
+		mal, err := r.bytes(1)
+		if err != nil {
+			return nil, err
+		}
+		if mal[0] > 1 {
+			return nil, fmt.Errorf("core: epoch delta: bad malicious flag %d at %d", mal[0], i)
+		}
+		v.Malicious = mal[0] == 1
+		if v.Category, err = r.str(); err != nil {
+			return nil, err
+		}
+		d.Verdicts = append(d.Verdicts, v)
+	}
+	return d, nil
+}
+
+// WriteEpochDelta persists a delta produced by a completed run of cfg
+// (the PRODUCER config — cfg.Epoch is the epoch the delta describes).
+func WriteEpochDelta(path string, cfg StudyConfig, d *EpochDelta) error {
+	return writeCheckpointFile(path, ckptEpochDelta, cfg.Seed,
+		cfg.checkpointHash(), encodeEpochDeltaPayload(d))
+}
+
+// EpochDelta returns the decoded kind-4 payload, or an error for other
+// checkpoint kinds.
+func (c *Checkpoint) EpochDelta() (*EpochDelta, error) {
+	if c.kind != ckptEpochDelta {
+		return nil, fmt.Errorf("core: checkpoint is a %s checkpoint, not an epoch delta", c.KindName())
+	}
+	return c.delta, nil
+}
+
+// ValidateDelta checks that a loaded epoch delta was produced by the
+// immediately preceding epoch of the SAME longitudinal run as cfg (the
+// CONSUMER config): same seed, same output-shaping configuration at
+// Epoch = cfg.Epoch-1, and an epoch index that agrees with the header.
+// Mismatched -epochs, -churn, -blacklist-lag or -blacklist-decay change
+// the producer hash and are refused.
+func (c *Checkpoint) ValidateDelta(cfg StudyConfig) (*EpochDelta, error) {
+	d, err := c.EpochDelta()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Epoch <= 0 {
+		return nil, fmt.Errorf("core: epoch %d has no prior epoch to take a delta from", cfg.Epoch)
+	}
+	if c.Seed != cfg.Seed {
+		return nil, fmt.Errorf("core: epoch delta was taken under seed %d, not %d — refusing to reuse", c.Seed, cfg.Seed)
+	}
+	producer := cfg
+	producer.Epoch = cfg.Epoch - 1
+	if d.Epoch != producer.Epoch {
+		return nil, fmt.Errorf("core: epoch delta is for epoch %d, want %d — refusing to reuse", d.Epoch, producer.Epoch)
+	}
+	if h := producer.checkpointHash(); c.ConfigHash != h {
+		return nil, fmt.Errorf("core: epoch delta config hash %016x does not match expected producer configuration %016x "+
+			"(scale/pools/faults/retries and the longitudinal knobs must match the original run) — refusing to reuse",
+			c.ConfigHash, h)
+	}
+	return d, nil
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// epochDeltaSeedPayloads are structurally valid kind-4 payloads covering
+// the codec's surface: empty, hosts-only, verdict-carrying and mixed.
+// They seed the fuzz target and double as the checked-in corpus.
+func epochDeltaSeedPayloads() [][]byte {
+	return [][]byte{
+		encodeEpochDeltaPayload(&EpochDelta{}),
+		encodeEpochDeltaPayload(&EpochDelta{
+			Epoch:        2,
+			IntelHash:    0x1122334455667788,
+			ChangedHosts: []string{"alpha.example", "beta.example"},
+		}),
+		encodeEpochDeltaPayload(&EpochDelta{
+			Epoch:     1,
+			IntelHash: 42,
+			Verdicts: []DeltaVerdict{
+				{Key: "http://a.example/\x00dead", Malicious: true, Category: "Blacklisted domains"},
+				{Key: "http://b.example/\x00beef", Malicious: false},
+			},
+		}),
+		encodeEpochDeltaPayload(&EpochDelta{
+			Epoch:        7,
+			IntelHash:    ^uint64(0),
+			ChangedHosts: []string{"x.example"},
+			Verdicts: []DeltaVerdict{
+				{Key: "k", Malicious: true, Category: "Others"},
+			},
+		}),
+	}
+}
+
+// TestUpdateEpochDeltaFuzzCorpus regenerates the checked-in seed corpus
+// under testdata/fuzz/ when UPDATE_FUZZ_CORPUS=1, mirroring the shard
+// corpus updater: the files duplicate the f.Add seeds on purpose so the
+// corpus survives refactors of the seed-building helper.
+func TestUpdateEpochDeltaFuzzCorpus(t *testing.T) {
+	if os.Getenv("UPDATE_FUZZ_CORPUS") == "" {
+		t.Skip("set UPDATE_FUZZ_CORPUS=1 to rewrite testdata/fuzz")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzEpochDeltaDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	inputs := epochDeltaSeedPayloads()
+	inputs = append(inputs, []byte{}, []byte{0x02, 0xff})
+	for i, in := range inputs {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(in)))
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed-%02d", i)), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// FuzzEpochDeltaDecode hardens the kind-4 decoder exactly as kinds 1-3
+// are hardened: arbitrary payload bytes — framed as an otherwise
+// well-formed SLUMCKPT file so the checksum does not mask the interesting
+// paths — must either fail cleanly or decode into a delta the encoder
+// maps back to canonical bytes (decode∘encode is a fixpoint). Panics and
+// count-bomb allocations are the bugs being hunted; the count(min)
+// bounds on the host and verdict counts are what keep a crafted
+// billion-element header from allocating before validation.
+func FuzzEpochDeltaDecode(f *testing.F) {
+	for _, p := range epochDeltaSeedPayloads() {
+		f.Add(p)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x02, 0xff})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		ck, err := decodeCheckpoint(encodeCheckpoint(ckptEpochDelta, 7, 9, payload))
+		if err != nil {
+			return
+		}
+		enc := encodeEpochDeltaPayload(ck.delta)
+		ck2, err := decodeCheckpoint(encodeCheckpoint(ckptEpochDelta, 7, 9, enc))
+		if err != nil {
+			t.Fatalf("re-decoding a decoded delta failed: %v", err)
+		}
+		if enc2 := encodeEpochDeltaPayload(ck2.delta); !bytes.Equal(enc, enc2) {
+			t.Fatal("encode(decode(payload)) is not a fixpoint — codec is not canonical")
+		}
+	})
+}

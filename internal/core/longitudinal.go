@@ -1,0 +1,193 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+
+	"repro/internal/shortener"
+	"repro/internal/stats"
+)
+
+// Longitudinal study runner: one streaming run per epoch from the same
+// seed, with optional incremental re-crawl. Epoch N's universe embeds the
+// churn history 1..N (prefix-stable, see web.applyChurn), the intel layer
+// lags ground truth by the configured number of epochs, and exchange
+// campaigns advance through their lifecycle phases — so the sequence of
+// per-epoch analyses IS the longitudinal measurement: malice rate over
+// time, blacklist coverage erosion, campaign bursts that span epochs.
+//
+// In delta mode every completed epoch writes a kind-4 SLUMCKPT delta and
+// the next epoch preloads its verdict cache from it, so only pages whose
+// content changed (or everything, after an intel shift) re-run the
+// detector stack. The folded reports are byte-identical to full
+// re-crawls by construction: the fold consumes only Malicious/Category,
+// the cache key pins content, and the intel gate pins the engines.
+
+// LongitudinalOptions tunes RunLongitudinalStudy.
+type LongitudinalOptions struct {
+	// DeltaDir, when non-empty, enables incremental re-crawl: each epoch
+	// writes epochNNN.slumdelta into the directory and epoch N+1 seeds
+	// its verdict cache from epoch N's file. Requires the verdict cache.
+	DeltaDir string
+	// Stream is the base streaming configuration. CheckpointPath, when
+	// set, is suffixed ".epochN" per epoch and existing per-epoch
+	// checkpoints are resumed automatically (epochs that completed have
+	// deleted theirs and simply re-run — deterministically — when an
+	// interrupted study is re-launched). AbortAfter, when > 0, is a
+	// STUDY-WIDE fold budget: the run aborts with ErrAborted once that
+	// many records have been folded across epochs in this process.
+	// Preload and WriteDeltaPath are managed by the runner and must be
+	// left unset.
+	Stream StreamOptions
+}
+
+// EpochOutcome is one epoch's slice of a longitudinal result.
+type EpochOutcome struct {
+	// Epoch is the 0-based epoch index.
+	Epoch int
+	// Analysis is the epoch's full analysis, byte-identical to what a
+	// standalone single-epoch run at this epoch would produce.
+	Analysis *Analysis
+	// IntelConsensus / IntelFeed / IntelTotal report how much of the
+	// epoch's CURRENT malicious population the (lagged, decayed) intel
+	// layer still covers — the blacklist-lag distribution over time.
+	IntelConsensus int
+	IntelFeed      int
+	IntelTotal     int
+	// ChangedSites counts the sites whose identity churned into this
+	// epoch (0 at epoch 0).
+	ChangedSites int
+	// ShortStats is the Table IV join for this epoch, captured here so
+	// the epoch's universe (and its shortener registry) can be released.
+	ShortStats []shortener.HitStats
+}
+
+// OutcomeOf captures a completed study's epoch slice — the piece of a
+// LongitudinalResult one epoch contributes. Shared by the streaming
+// runner and the fleet-mode longitudinal path in cmd/slumfleet.
+func OutcomeOf(st *Study) EpochOutcome {
+	consensus, feed, total := st.Universe.IntelCoverage()
+	return EpochOutcome{
+		Epoch:          st.Config.Epoch,
+		Analysis:       st.Analysis,
+		IntelConsensus: consensus,
+		IntelFeed:      feed,
+		IntelTotal:     total,
+		ChangedSites:   len(st.Universe.ChangedSites),
+		ShortStats:     st.Analysis.ShortURLStats(st.Universe.Shorteners),
+	}
+}
+
+// LongitudinalResult is the multi-epoch study output.
+type LongitudinalResult struct {
+	Config StudyConfig
+	Epochs []EpochOutcome
+}
+
+// MaliceRates returns the per-epoch overall malice rate as a percentage
+// series (the headline ">26%" tracked over time).
+func (r *LongitudinalResult) MaliceRates() []float64 {
+	out := make([]float64, len(r.Epochs))
+	for i, e := range r.Epochs {
+		out[i] = e.Analysis.OverallPctMalicious()
+	}
+	return out
+}
+
+// ExchangeSeries folds one exchange's per-epoch Figure-3 series into a
+// single cross-epoch cumulative series (epoch boundaries preserved as
+// segment joins), ready for stats.Series.Bursts — a burst spanning a
+// boundary is reported once, not once per epoch.
+func (r *LongitudinalResult) ExchangeSeries(name string) *stats.Series {
+	segs := make([]*stats.Series, 0, len(r.Epochs))
+	for _, e := range r.Epochs {
+		segs = append(segs, e.Analysis.Series[name])
+	}
+	return stats.ConcatSeries(segs...)
+}
+
+// DeltaPath names the delta file epoch e of a study writes under dir.
+func DeltaPath(dir string, epoch int) string {
+	return filepath.Join(dir, fmt.Sprintf("epoch%03d.slumdelta", epoch))
+}
+
+// RunLongitudinalStudy executes a cfg.Epochs-epoch study (<= 1 runs a
+// single classic epoch) and returns the per-epoch outcomes. See
+// LongitudinalOptions for checkpointing, abort-budget and delta-mode
+// behaviour. On abort the partial result accumulated so far is returned
+// alongside the error.
+func RunLongitudinalStudy(cfg StudyConfig, opts LongitudinalOptions) (*LongitudinalResult, error) {
+	if opts.Stream.Preload != nil || opts.Stream.WriteDeltaPath != "" {
+		return nil, errors.New("core: longitudinal runner owns Preload/WriteDeltaPath — leave them unset")
+	}
+	epochs := cfg.Epochs
+	if epochs <= 0 {
+		epochs = 1
+	}
+	res := &LongitudinalResult{Config: cfg}
+	budget := opts.Stream.AbortAfter
+	folded := 0
+	for e := 0; e < epochs; e++ {
+		ecfg := cfg
+		ecfg.Epochs = epochs
+		ecfg.Epoch = e
+		st, err := NewStudy(ecfg)
+		if err != nil {
+			return res, err
+		}
+		sopts := opts.Stream
+		sopts.Resume = nil
+		if sopts.CheckpointPath != "" {
+			sopts.CheckpointPath = fmt.Sprintf("%s.epoch%d", opts.Stream.CheckpointPath, e)
+			ck, err := LoadCheckpoint(sopts.CheckpointPath)
+			switch {
+			case err == nil:
+				if err := ck.Validate(ecfg); err != nil {
+					return res, fmt.Errorf("core: epoch %d: %w", e, err)
+				}
+				sopts.Resume = ck
+			case errors.Is(err, fs.ErrNotExist):
+				// Fresh epoch — nothing to resume.
+			default:
+				return res, fmt.Errorf("core: epoch %d: %w", e, err)
+			}
+		}
+		if opts.DeltaDir != "" {
+			sopts.WriteDeltaPath = DeltaPath(opts.DeltaDir, e)
+			if e > 0 {
+				ck, err := LoadCheckpoint(DeltaPath(opts.DeltaDir, e-1))
+				if err != nil {
+					return res, fmt.Errorf("core: epoch %d: load prior delta: %w", e, err)
+				}
+				d, err := ck.ValidateDelta(ecfg)
+				if err != nil {
+					return res, fmt.Errorf("core: epoch %d: %w", e, err)
+				}
+				sopts.Preload = d
+			}
+		}
+		resumed := 0
+		if sopts.Resume != nil {
+			resumed = sopts.Resume.Records()
+		}
+		if budget > 0 {
+			remaining := budget - folded
+			if remaining <= 0 {
+				remaining = 1
+			}
+			sopts.AbortAfter = remaining
+		}
+		if err := st.RunStream(sopts); err != nil {
+			return res, fmt.Errorf("core: epoch %d: %w", e, err)
+		}
+		epochSteps := 0
+		for _, s := range st.Steps {
+			epochSteps += s
+		}
+		folded += epochSteps - resumed
+		res.Epochs = append(res.Epochs, OutcomeOf(st))
+	}
+	return res, nil
+}

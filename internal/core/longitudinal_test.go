@@ -1,0 +1,283 @@
+package core
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/simrand"
+	"repro/internal/testutil"
+)
+
+// longitudinalConfig is the compact multi-epoch study the longitudinal
+// tests share: small enough that a 4-epoch matrix stays cheap, large
+// enough that churn, lagged intel and campaign phases all have bite.
+func longitudinalConfig(seed uint64, workers int) StudyConfig {
+	cfg := DefaultStudyConfig()
+	cfg.Seed = seed
+	cfg.Scale = 1200
+	cfg.Workers = workers
+	cfg.Epochs = 3
+	cfg.ChurnFrac = 0.3
+	cfg.BlacklistLag = 2
+	return cfg
+}
+
+// TestCheckpointHashRefusesLongitudinalMismatch is the satellite-3
+// regression test: a checkpoint taken under one longitudinal
+// configuration must refuse to resume under different -epochs, -epoch,
+// -churn, -blacklist-lag or -blacklist-decay settings. Before the config
+// hash covered those fields, every mutation below validated cleanly and
+// a resume would silently fold records from a DIFFERENT universe into
+// the restored accumulator.
+func TestCheckpointHashRefusesLongitudinalMismatch(t *testing.T) {
+	base := longitudinalConfig(7, 1)
+	base.Epochs = 4
+	base.Epoch = 1
+	base.BlacklistDecay = 0.1
+	ck := &Checkpoint{Seed: base.Seed, ConfigHash: base.checkpointHash(), kind: ckptAnalysis}
+	if err := ck.Validate(base); err != nil {
+		t.Fatalf("checkpoint does not validate against its own config: %v", err)
+	}
+	mutations := []struct {
+		name string
+		mut  func(*StudyConfig)
+	}{
+		{"epochs", func(c *StudyConfig) { c.Epochs = 2 }},
+		{"epoch", func(c *StudyConfig) { c.Epoch = 2 }},
+		{"churn", func(c *StudyConfig) { c.ChurnFrac = 0.31 }},
+		{"blacklist-lag", func(c *StudyConfig) { c.BlacklistLag = 1 }},
+		{"blacklist-decay", func(c *StudyConfig) { c.BlacklistDecay = 0.2 }},
+	}
+	for _, m := range mutations {
+		cfg := base
+		m.mut(&cfg)
+		if err := ck.Validate(cfg); err == nil {
+			t.Errorf("checkpoint accepted a run with mismatched %s", m.name)
+		}
+	}
+
+	// "-epochs 1" and "no longitudinal flags at all" are the same run and
+	// must resume into each other.
+	a, b := DefaultStudyConfig(), DefaultStudyConfig()
+	b.Epochs = 1
+	if a.checkpointHash() != b.checkpointHash() {
+		t.Error("Epochs 0 and Epochs 1 hash differently — classic checkpoints would refuse -epochs 1 resumes")
+	}
+}
+
+// TestEpochDeltaCodecRoundTrip locks the kind-4 codec: encode/decode is
+// a fixpoint, files survive the disk trip, and ValidateDelta enforces
+// seed, epoch-index and producer-config provenance.
+func TestEpochDeltaCodecRoundTrip(t *testing.T) {
+	cfg := longitudinalConfig(5, 1)
+	producer := cfg
+	producer.Epoch = 1
+	d := &EpochDelta{
+		Epoch:        1,
+		IntelHash:    0xfeedbeef,
+		ChangedHosts: []string{"b.example", "a.example"}, // encoder sorts
+		Verdicts: []DeltaVerdict{
+			{Key: "http://z.example/\x001234", Malicious: true, Category: "Blacklisted domains"},
+			{Key: "http://a.example/\x00abcd", Malicious: false},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "epoch001.slumdelta")
+	if err := WriteEpochDelta(path, producer, d); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.KindName() != "epoch-delta" {
+		t.Fatalf("kind = %s", ck.KindName())
+	}
+
+	consumer := cfg
+	consumer.Epoch = 2
+	got, err := ck.ValidateDelta(consumer)
+	if err != nil {
+		t.Fatalf("delta refused by its own consumer config: %v", err)
+	}
+	if got.Epoch != 1 || got.IntelHash != 0xfeedbeef {
+		t.Fatalf("decoded header = %+v", got)
+	}
+	if !reflect.DeepEqual(got.ChangedHosts, []string{"a.example", "b.example"}) {
+		t.Fatalf("changed hosts = %v", got.ChangedHosts)
+	}
+	if len(got.Verdicts) != 2 || got.Verdicts[0].Key >= got.Verdicts[1].Key {
+		t.Fatalf("verdicts not sorted: %+v", got.Verdicts)
+	}
+
+	refusals := []struct {
+		name string
+		mut  func(*StudyConfig)
+	}{
+		{"seed", func(c *StudyConfig) { c.Seed = 6 }},
+		{"epoch gap", func(c *StudyConfig) { c.Epoch = 3 }},
+		{"epoch zero", func(c *StudyConfig) { c.Epoch = 0 }},
+		{"blacklist lag", func(c *StudyConfig) { c.BlacklistLag = 1 }},
+		{"churn", func(c *StudyConfig) { c.ChurnFrac = 0.5 }},
+		{"scale", func(c *StudyConfig) { c.Scale = 1100 }},
+	}
+	for _, r := range refusals {
+		bad := consumer
+		r.mut(&bad)
+		if _, err := ck.ValidateDelta(bad); err == nil {
+			t.Errorf("delta accepted under mismatched %s", r.name)
+		}
+	}
+
+	// A non-delta checkpoint must be rejected by kind, not crash.
+	ack := &Checkpoint{kind: ckptAnalysis}
+	if _, err := ack.ValidateDelta(consumer); err == nil {
+		t.Error("analysis checkpoint accepted as an epoch delta")
+	}
+}
+
+// TestDeltaModeMatchesFullRecrawl is the tentpole acceptance test: a
+// multi-epoch study run in delta mode (each epoch preloading the prior
+// epoch's verdicts) produces per-epoch Analyses deeply equal — cache
+// stats included, thanks to seeded-miss mirroring — to the same study
+// re-crawling and re-scanning everything. The metrics assert the run is
+// non-vacuous: inside the lag window the intel layer is stable, so
+// verdicts really are carried across epochs.
+func TestDeltaModeMatchesFullRecrawl(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	cfg := longitudinalConfig(4, 4)
+	full, err := RunLongitudinalStudy(cfg, LongitudinalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	mcfg := cfg
+	mcfg.Metrics = reg
+	delta, err := RunLongitudinalStudy(mcfg, LongitudinalOptions{DeltaDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta.Epochs) != len(full.Epochs) {
+		t.Fatalf("delta run spans %d epochs, full run %d", len(delta.Epochs), len(full.Epochs))
+	}
+	for i := range full.Epochs {
+		if !reflect.DeepEqual(full.Epochs[i], delta.Epochs[i]) {
+			t.Errorf("epoch %d: delta-mode outcome differs from full re-crawl", i)
+		}
+	}
+	if n := reg.Counter("stream.delta.preloaded").Value(); n == 0 {
+		t.Error("delta mode never preloaded a verdict — the incremental path is vacuous")
+	}
+
+	// With per-epoch decay the intel layer shifts every epoch: preloads
+	// must be refused by the fingerprint gate, and the output must STILL
+	// match a full re-crawl (the fallback is slow, never wrong).
+	dcfg := cfg
+	dcfg.BlacklistDecay = 0.4
+	dcfg.BlacklistLag = 1
+	dfull, err := RunLongitudinalStudy(dcfg, LongitudinalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dreg := obs.NewRegistry()
+	dmcfg := dcfg
+	dmcfg.Metrics = dreg
+	ddelta, err := RunLongitudinalStudy(dmcfg, LongitudinalOptions{DeltaDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dfull.Epochs {
+		if !reflect.DeepEqual(dfull.Epochs[i], ddelta.Epochs[i]) {
+			t.Errorf("decayed epoch %d: delta-mode outcome differs from full re-crawl", i)
+		}
+	}
+	if n := dreg.Counter("stream.delta.skipped_intel_shift").Value(); n == 0 {
+		t.Error("intel gate never fired under per-epoch decay — unsound preloads would go unnoticed")
+	}
+}
+
+// TestLongitudinalSeriesAndRates sanity-checks the cross-epoch report
+// inputs: concatenated per-exchange series are monotone with the right
+// total, and the per-epoch malice-rate series has one point per epoch.
+func TestLongitudinalSeriesAndRates(t *testing.T) {
+	cfg := longitudinalConfig(9, 2)
+	cfg.Epochs = 2
+	res, err := RunLongitudinalStudy(cfg, LongitudinalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates := res.MaliceRates(); len(rates) != 2 {
+		t.Fatalf("malice rates = %v, want 2 points", rates)
+	}
+	name := res.Epochs[0].Analysis.PerExchange[0].Name
+	s := res.ExchangeSeries(name)
+	wantLen := res.Epochs[0].Analysis.Series[name].Len() + res.Epochs[1].Analysis.Series[name].Len()
+	if s.Len() != wantLen {
+		t.Fatalf("concat series length %d, want %d", s.Len(), wantLen)
+	}
+	wantFinal := res.Epochs[0].Analysis.Series[name].Final() + res.Epochs[1].Analysis.Series[name].Final()
+	if s.Final() != wantFinal {
+		t.Fatalf("concat series final %d, want %d", s.Final(), wantFinal)
+	}
+}
+
+// TestLongitudinalKillResumeMatrix is the epoch-invariance acceptance
+// matrix: for epochs {1, 2, 4}, two (seed, workers) rigs and a
+// randomized kill point, aborting a checkpointed longitudinal run and
+// re-launching it yields per-epoch Analyses identical to the
+// uninterrupted study's (minus the resumed epoch's cache traffic, which
+// a resumed run legitimately under-reports).
+func TestLongitudinalKillResumeMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill/resume matrix is expensive; run without -short")
+	}
+	testutil.VerifyNoLeaks(t)
+	cut := simrand.New(0x10e6).Sub("kill")
+	for _, epochs := range []int{1, 2, 4} {
+		for _, rig := range []struct {
+			seed    uint64
+			workers int
+		}{{3, 8}, {11, 1}} {
+			cfg := longitudinalConfig(rig.seed, rig.workers)
+			cfg.Epochs = epochs
+			cfg.ChurnFrac = 0.25
+			cfg.BlacklistLag = 1
+			want, err := RunLongitudinalStudy(cfg, LongitudinalOptions{})
+			if err != nil {
+				t.Fatalf("epochs=%d seed=%d: baseline: %v", epochs, rig.seed, err)
+			}
+			total := 0
+			for _, e := range want.Epochs {
+				total += e.Analysis.TotalCrawled
+			}
+
+			ckpt := filepath.Join(t.TempDir(), "study.ckpt")
+			kill := 1 + cut.Intn(total-1)
+			_, err = RunLongitudinalStudy(cfg, LongitudinalOptions{Stream: StreamOptions{
+				CheckpointPath: ckpt, CheckpointEvery: 100, AbortAfter: kill,
+			}})
+			if !errors.Is(err, ErrAborted) {
+				t.Fatalf("epochs=%d seed=%d kill=%d: got %v, want ErrAborted", epochs, rig.seed, kill, err)
+			}
+			got, err := RunLongitudinalStudy(cfg, LongitudinalOptions{Stream: StreamOptions{
+				CheckpointPath: ckpt, CheckpointEvery: 100,
+			}})
+			if err != nil {
+				t.Fatalf("epochs=%d seed=%d kill=%d: resumed run: %v", epochs, rig.seed, kill, err)
+			}
+			if len(got.Epochs) != len(want.Epochs) {
+				t.Fatalf("resumed run spans %d epochs, want %d", len(got.Epochs), len(want.Epochs))
+			}
+			for i := range want.Epochs {
+				w, g := want.Epochs[i], got.Epochs[i]
+				w.Analysis, g.Analysis = stripCacheStats(w.Analysis), stripCacheStats(g.Analysis)
+				if !reflect.DeepEqual(w, g) {
+					t.Errorf("epochs=%d seed=%d workers=%d kill=%d: epoch %d differs after kill/resume",
+						epochs, rig.seed, rig.workers, kill, i)
+				}
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"hash/fnv"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -47,6 +48,12 @@ type VerdictCache struct {
 type cacheEntry struct {
 	once sync.Once
 	v    Verdict
+	// seeded marks an entry preloaded from a prior epoch's delta that has
+	// not been looked up yet this run. The first lookup flips it and counts
+	// as a MISS: that is what a full re-crawl would have recorded for the
+	// key, so CacheStats — which feed the report — stay byte-identical
+	// between delta mode and a full run.
+	seeded atomic.Bool
 }
 
 // NewVerdictCache returns an empty cache.
@@ -70,6 +77,50 @@ func (c *VerdictCache) entry(key string) (*cacheEntry, bool) {
 // Stats returns the hit/miss counts observed so far.
 func (c *VerdictCache) Stats() CacheStats {
 	return CacheStats{Hits: int(c.hits.Load()), Misses: int(c.misses.Load())}
+}
+
+// Preload seeds the cache with verdicts carried over from a prior epoch's
+// delta. Seeded entries are complete (their once is spent), so a lookup
+// reuses the verdict without running the detector; the seeded flag makes
+// the stats mirror a full run's. Keys already present are left untouched.
+// Returns the number of entries seeded. The CALLER owns the soundness
+// gate: preload only when the intel fingerprint is unchanged.
+func (c *VerdictCache) Preload(vs []DeltaVerdict) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, dv := range vs {
+		if _, ok := c.entries[dv.Key]; ok {
+			continue
+		}
+		e := &cacheEntry{v: Verdict{Malicious: dv.Malicious, Category: Category(dv.Category)}}
+		e.once.Do(func() {})
+		e.seeded.Store(true)
+		c.entries[dv.Key] = e
+		n++
+	}
+	return n
+}
+
+// Export snapshots every verdict the run actually used — freshly scanned
+// entries plus seeded entries that were looked up at least once — as a
+// key-sorted delta slice. Seeded entries never touched this run are
+// dropped: a full re-crawl would not have produced them, and dropping
+// them keeps delta files byte-identical between delta-mode and
+// full-re-crawl producers. Call only after the run has completed (every
+// touched entry's once has run).
+func (c *VerdictCache) Export() []DeltaVerdict {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]DeltaVerdict, 0, len(c.entries))
+	for k, e := range c.entries {
+		if e.seeded.Load() {
+			continue
+		}
+		out = append(out, DeltaVerdict{Key: k, Malicious: e.v.Malicious, Category: string(e.v.Category)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
 }
 
 // verdictKey derives the cache key for a record: the normalized entry URL
@@ -122,7 +173,14 @@ func (an *Analyzer) inspect(cache *VerdictCache, rec *crawler.Record) Verdict {
 	}
 	e, hit := cache.entry(verdictKey(rec))
 	if hit {
-		cache.hits.Add(1)
+		// A preloaded entry's first lookup is charged as the miss the full
+		// run would have recorded; the CAS elects exactly one charger under
+		// concurrency, matching the single-flight's one-miss-per-key.
+		if e.seeded.CompareAndSwap(true, false) {
+			cache.misses.Add(1)
+		} else {
+			cache.hits.Add(1)
+		}
 	} else {
 		cache.misses.Add(1)
 	}

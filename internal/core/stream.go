@@ -45,6 +45,19 @@ type StreamOptions struct {
 	// ErrAborted after folding that many records in this process, without
 	// writing a final checkpoint. Testing hook; 0 disables.
 	AbortAfter int
+	// Preload, when set, seeds the verdict cache from a prior epoch's
+	// delta (see ValidateDelta for the provenance checks the caller must
+	// run first). The intel gate is enforced HERE: entries are seeded only
+	// when the delta's IntelHash matches this study universe's
+	// IntelFingerprint — a shifted feed rebuilds every engine's signature
+	// subset, so on mismatch the run silently falls back to scanning
+	// everything, which is slower but always byte-identical. Ignored when
+	// the cache is disabled.
+	Preload *EpochDelta
+	// WriteDeltaPath, when non-empty, writes a kind-4 epoch delta for this
+	// study's epoch after a successful (non-aborted) run, ready for the
+	// next epoch's Preload. Requires the verdict cache.
+	WriteDeltaPath string
 }
 
 // RunStream executes the crawl and the analysis as one bounded-memory
@@ -113,6 +126,17 @@ func (st *Study) RunStream(opts StreamOptions) error {
 	var cache *VerdictCache
 	if !an.DisableCache {
 		cache = NewVerdictCache()
+	}
+	if opts.WriteDeltaPath != "" && cache == nil {
+		return fmt.Errorf("core: epoch delta output requires the verdict cache")
+	}
+	if opts.Preload != nil && cache != nil {
+		if opts.Preload.IntelHash == st.Universe.IntelFingerprint() {
+			n := cache.Preload(opts.Preload.Verdicts)
+			an.Metrics.Counter("stream.delta.preloaded").Add(int64(n))
+		} else {
+			an.Metrics.Counter("stream.delta.skipped_intel_shift").Inc()
+		}
 	}
 
 	an.Metrics.Gauge("pipeline.workers.configured").Set(int64(workers))
@@ -252,6 +276,19 @@ func (st *Study) RunStream(opts StreamOptions) error {
 	st.Config.Metrics.Histogram("study.stream_seconds").Observe(time.Since(start).Seconds())
 
 	st.Analysis = fs.finish(cstats)
+	if opts.WriteDeltaPath != "" {
+		delta := &EpochDelta{
+			Epoch:     st.Config.Epoch,
+			IntelHash: st.Universe.IntelFingerprint(),
+			Verdicts:  cache.Export(),
+		}
+		for _, s := range st.Universe.ChangedSites {
+			delta.ChangedHosts = append(delta.ChangedHosts, s.Host)
+		}
+		if err := WriteEpochDelta(opts.WriteDeltaPath, st.Config, delta); err != nil {
+			return err
+		}
+	}
 	if opts.CheckpointPath != "" {
 		// The run is complete: a checkpoint now would only invite a
 		// pointless resume, so the invariant is "a checkpoint file exists

@@ -56,6 +56,34 @@ type StudyConfig struct {
 	// instrumentation; study output is byte-identical either way.
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
+	// Epochs is the number of simulated epochs a longitudinal study spans;
+	// <= 1 (the default) is the classic single-epoch reproduction. The
+	// longitudinal runner builds one study per epoch from the same seed.
+	Epochs int
+	// Epoch is the simulated-time index THIS study instance is built at
+	// (0-based). Epoch 0 with any knob settings is bit-identical to the
+	// pre-longitudinal universe, which keeps the seed-1 goldens stable.
+	Epoch int
+	// ChurnFrac is the per-epoch probability that a malicious site
+	// re-registers under a fresh domain and family token.
+	ChurnFrac float64
+	// BlacklistLag is how many epochs behind ground truth the blacklist
+	// databases and threat feed run.
+	BlacklistLag int
+	// BlacklistDecay erodes stale blacklist entries per epoch of staleness
+	// (see blacklist.BuildConfig.DecayPerEpoch).
+	BlacklistDecay float64
+}
+
+// epochParams maps the config's longitudinal knobs onto the universe
+// generator's epoch clock.
+func (cfg StudyConfig) epochParams() web.EpochParams {
+	return web.EpochParams{
+		Epoch:         cfg.Epoch,
+		ChurnFrac:     cfg.ChurnFrac,
+		BlacklistLag:  cfg.BlacklistLag,
+		DecayPerEpoch: cfg.BlacklistDecay,
+	}
 }
 
 // DefaultStudyConfig returns the standard calibration.
@@ -100,6 +128,21 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 	if cfg.Retries < 0 {
 		return nil, fmt.Errorf("core: retries must be >= 0, got %d", cfg.Retries)
 	}
+	if cfg.Epoch < 0 {
+		return nil, fmt.Errorf("core: epoch must be >= 0, got %d", cfg.Epoch)
+	}
+	if cfg.Epochs > 0 && cfg.Epoch >= cfg.Epochs {
+		return nil, fmt.Errorf("core: epoch %d out of range for a %d-epoch study", cfg.Epoch, cfg.Epochs)
+	}
+	if cfg.ChurnFrac < 0 || cfg.ChurnFrac > 1 {
+		return nil, fmt.Errorf("core: churn fraction must be in [0,1], got %g", cfg.ChurnFrac)
+	}
+	if cfg.BlacklistLag < 0 {
+		return nil, fmt.Errorf("core: blacklist lag must be >= 0, got %d", cfg.BlacklistLag)
+	}
+	if cfg.BlacklistDecay < 0 || cfg.BlacklistDecay > 1 {
+		return nil, fmt.Errorf("core: blacklist decay must be in [0,1], got %g", cfg.BlacklistDecay)
+	}
 	if cfg.MinMalPerPool <= 0 {
 		cfg.MinMalPerPool = 6
 	}
@@ -124,17 +167,28 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 	ucfg.Seed = cfg.Seed
 	ucfg.BenignSites = totalBenign + totalBenign/10 + 20
 	ucfg.MaliciousSites = totalMal + totalMal/10 + 12
-	universe := web.Generate(ucfg)
+	universe := web.GenerateEpoch(ucfg, cfg.epochParams())
 
 	rng := simrand.New(cfg.Seed).Sub("study")
-	pools, err := universe.SplitPools(rng.Sub("pools"), poolSpecs)
+	// Epoch 0 keeps the original pool substream (goldens); later epochs
+	// re-deal the pools from their own substream — member sites join and
+	// leave exchanges between epochs, as the paper's fieldwork observed.
+	poolsRng := rng.Sub("pools")
+	if cfg.Epoch > 0 {
+		poolsRng = rng.Sub(fmt.Sprintf("pools:epoch%d", cfg.Epoch))
+	}
+	pools, err := universe.SplitPools(poolsRng, poolSpecs)
 	if err != nil {
 		return nil, fmt.Errorf("core: split pools: %w", err)
 	}
 
 	st := &Study{Config: cfg, Universe: universe, Specs: specs}
 	for i, spec := range specs {
-		ex := exchange.New(spec.Config(), pools[i], universe.PopularURLs, rng.Sub("exchange:"+spec.Name))
+		excfg := spec.Config()
+		// Advance paid campaigns through their lifecycle phases; epoch 0
+		// is the identity transform.
+		excfg.Campaigns = exchange.EpochCampaigns(excfg.Campaigns, cfg.Epoch)
+		ex := exchange.New(excfg, pools[i], universe.PopularURLs, rng.Sub("exchange:"+spec.Name))
 		ex.RegisterHomepage(universe.Internet)
 		st.Exchanges = append(st.Exchanges, ex)
 		st.Steps = append(st.Steps, maxInt(spec.URLsCrawled/cfg.Scale, 50))

@@ -1,0 +1,49 @@
+package exchange
+
+// EpochCampaigns derives the paid-campaign schedule for one epoch of a
+// longitudinal study from an exchange's base (Table I calibrated)
+// schedule. Epoch 0 returns the base windows untouched, so single-epoch
+// studies keep their calibrated — and golden-locked — behaviour.
+//
+// Later epochs advance each window through a three-phase lifecycle the
+// longitudinal literature observes for paid malware campaigns: RISE (the
+// campaign ramps at reduced density), BURST (peak density over a widened
+// window), TAKEDOWN (the campaign is being dismantled; a narrow
+// low-density remnant). The phase rotates per epoch and is offset per
+// window, so a multi-campaign exchange always has campaigns at different
+// lifecycle stages. The transform is a pure function of (base, epoch):
+// no rng, so exchanges stay deterministic and cheap to rebuild per epoch.
+func EpochCampaigns(base []CampaignWindow, epoch int) []CampaignWindow {
+	if epoch <= 0 || len(base) == 0 {
+		return base
+	}
+	out := make([]CampaignWindow, 0, len(base))
+	for i, w := range base {
+		switch (epoch + i) % 3 {
+		case 1: // rise
+			w.MalDensity *= 0.6
+		case 2: // burst
+			w.MalDensity *= 1.3
+			if w.MalDensity > 0.95 {
+				w.MalDensity = 0.95
+			}
+			w.StartFrac -= 0.04
+			w.EndFrac += 0.04
+		case 0: // takedown
+			w.MalDensity *= 0.25
+			mid := (w.StartFrac + w.EndFrac) / 2
+			w.StartFrac = mid - (mid-w.StartFrac)/2
+			w.EndFrac = mid + (w.EndFrac-mid)/2
+		}
+		if w.StartFrac < 0 {
+			w.StartFrac = 0
+		}
+		if w.EndFrac > 1 {
+			w.EndFrac = 1
+		}
+		if w.EndFrac > w.StartFrac {
+			out = append(out, w)
+		}
+	}
+	return out
+}

@@ -492,3 +492,56 @@ func TestStartSessionRejectsNonPositivePlannedSteps(t *testing.T) {
 		t.Fatalf("Next on valid session: %v", err)
 	}
 }
+
+// TestEpochCampaignsLifecycle: epoch 0 is the identity (goldens depend on
+// it); later epochs stay inside [0,1] with positive-width windows and
+// feasible densities, rotate phases deterministically, and a takedown
+// phase strictly reduces a window's density.
+func TestEpochCampaignsLifecycle(t *testing.T) {
+	base := []CampaignWindow{
+		{StartFrac: 0.15, EndFrac: 0.22, MalDensity: 0.80},
+		{StartFrac: 0.50, EndFrac: 0.56, MalDensity: 0.85},
+		{StartFrac: 0.78, EndFrac: 0.83, MalDensity: 0.75},
+	}
+	got0 := EpochCampaigns(base, 0)
+	if len(got0) != len(base) {
+		t.Fatalf("epoch 0 changed window count: %d", len(got0))
+	}
+	for i := range base {
+		if got0[i] != base[i] {
+			t.Fatalf("epoch 0 window %d = %+v, want identity %+v", i, got0[i], base[i])
+		}
+	}
+	for epoch := 1; epoch <= 6; epoch++ {
+		ws := EpochCampaigns(base, epoch)
+		again := EpochCampaigns(base, epoch)
+		for i := range ws {
+			if ws[i] != again[i] {
+				t.Fatalf("epoch %d not deterministic", epoch)
+			}
+			w := ws[i]
+			if w.StartFrac < 0 || w.EndFrac > 1 || w.EndFrac <= w.StartFrac {
+				t.Fatalf("epoch %d window %d out of bounds: %+v", epoch, i, w)
+			}
+			if w.MalDensity < 0 || w.MalDensity > 0.95 {
+				t.Fatalf("epoch %d window %d density infeasible: %+v", epoch, i, w)
+			}
+		}
+		if len(ws) != len(base) {
+			t.Fatalf("epoch %d dropped windows: %d", epoch, len(ws))
+		}
+	}
+	// Window 0 at epoch 3: (3+0)%3 == 0 -> takedown.
+	td := EpochCampaigns(base, 3)[0]
+	if td.MalDensity >= base[0].MalDensity {
+		t.Fatalf("takedown density %v not below base %v", td.MalDensity, base[0].MalDensity)
+	}
+	if td.EndFrac-td.StartFrac >= base[0].EndFrac-base[0].StartFrac {
+		t.Fatalf("takedown window not narrowed: %+v", td)
+	}
+	// Window 0 at epoch 2: burst -> widened, denser.
+	bu := EpochCampaigns(base, 2)[0]
+	if bu.MalDensity <= base[0].MalDensity || bu.EndFrac-bu.StartFrac <= base[0].EndFrac-base[0].StartFrac {
+		t.Fatalf("burst window not widened/denser: %+v", bu)
+	}
+}

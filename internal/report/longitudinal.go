@@ -1,0 +1,96 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Longitudinal sections: the time-series view a multi-epoch study adds on
+// top of the per-epoch tables. None of these render for a single-epoch
+// study, which is what keeps the classic seed-1 output byte-identical.
+
+// EpochHeader banners one epoch's report block in a multi-epoch run.
+func EpochHeader(epoch int) string {
+	return fmt.Sprintf("=== EPOCH %d ===", epoch)
+}
+
+// LongitudinalOverview renders the malice-rate-over-time table: the
+// headline ">26% of URLs are malicious" tracked across epochs, alongside
+// the churn the rate rides on.
+func LongitudinalOverview(r *core.LongitudinalResult) string {
+	t := NewTable("Epoch", "Crawled", "Regular", "Malicious", "% Malicious", "Churned Sites")
+	for _, e := range r.Epochs {
+		t.Row(fmt.Sprintf("%d", e.Epoch), comma(e.Analysis.TotalCrawled),
+			comma(e.Analysis.TotalRegular), comma(e.Analysis.TotalMalicious),
+			fmt.Sprintf("%.2f%%", e.Analysis.OverallPctMalicious()*100),
+			comma(e.ChangedSites))
+	}
+	return "LONGITUDINAL: MALICE RATE OVER EPOCHS\n" + t.String()
+}
+
+// LongitudinalIntel renders the blacklist-lag distribution: how much of
+// each epoch's CURRENT malicious population the lagged (and possibly
+// decayed) intel layer still covers. With zero lag both columns sit at
+// their build-time coverage; churn outrunning a lagged feed pulls them
+// down epoch over epoch.
+func LongitudinalIntel(r *core.LongitudinalResult) string {
+	t := NewTable("Epoch", "Consensus Cover", "Feed Cover", "Population", "% Consensus")
+	for _, e := range r.Epochs {
+		t.Row(fmt.Sprintf("%d", e.Epoch), comma(e.IntelConsensus), comma(e.IntelFeed),
+			comma(e.IntelTotal),
+			fmt.Sprintf("%.1f%%", stats.Ratio(e.IntelConsensus, e.IntelTotal)*100))
+	}
+	return "LONGITUDINAL: BLACKLIST LAG DISTRIBUTION\n" + t.String()
+}
+
+// LongitudinalBursts folds each exchange's per-epoch Figure-3 series into
+// one cross-epoch series and reports its bursts, with epoch boundaries
+// marked so a paid campaign spanning a boundary reads as ONE burst — the
+// satellite-2 contract — rather than one per epoch.
+func LongitudinalBursts(r *core.LongitudinalResult) string {
+	var b strings.Builder
+	b.WriteString("LONGITUDINAL: CROSS-EPOCH CAMPAIGN BURSTS\n")
+	if len(r.Epochs) == 0 {
+		return b.String()
+	}
+	for _, row := range r.Epochs[0].Analysis.PerExchange {
+		s := r.ExchangeSeries(row.Name)
+		if s == nil || s.Len() == 0 {
+			continue
+		}
+		boundaries := make([]int, 0, len(r.Epochs))
+		off := 0
+		for _, e := range r.Epochs[:len(r.Epochs)-1] {
+			if seg := e.Analysis.Series[row.Name]; seg != nil {
+				off += seg.Len()
+			}
+			boundaries = append(boundaries, off)
+		}
+		fmt.Fprintf(&b, "\n%s (%s): %d crawled over %d epochs, %d malicious\n",
+			row.Name, row.Kind, s.Len(), len(r.Epochs), s.Final())
+		window := s.Len() / (20 * len(r.Epochs))
+		if window < 1 {
+			window = 1
+		}
+		bursts := s.Bursts(window, 3)
+		if len(bursts) == 0 {
+			b.WriteString("  bursts: none (smooth, near-linear growth)\n")
+			continue
+		}
+		for _, burst := range bursts {
+			span := ""
+			for _, bd := range boundaries {
+				if burst.Start < bd && bd < burst.End {
+					span = " [spans epoch boundary]"
+					break
+				}
+			}
+			fmt.Fprintf(&b, "  burst: URLs %d-%d at %.0f%% malicious%s\n",
+				burst.Start, burst.End, burst.Rate*100, span)
+		}
+	}
+	return b.String()
+}

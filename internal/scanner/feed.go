@@ -15,6 +15,7 @@
 package scanner
 
 import (
+	"hash/fnv"
 	"sort"
 	"sync"
 
@@ -109,6 +110,24 @@ func (f *ThreatFeed) Size() int {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	return len(f.badDomains) + len(f.tokenSigs)
+}
+
+// Fingerprint digests the feed's full content — every (domain, label) and
+// (token, label) pair, in sorted order — into one value. Engine signature
+// subsets are drawn by iterating the sorted feed sequentially, so ANY
+// change to the feed (one domain added, one token relabeled) shifts every
+// engine's coverage draws; two feeds with equal fingerprints build
+// identical engine stacks from the same rng, and that global equality is
+// the only sound gate for reusing verdicts across epochs.
+func (f *ThreatFeed) Fingerprint() uint64 {
+	h := fnv.New64a()
+	for _, d := range f.domainEntries() {
+		h.Write([]byte("d\x00" + d[0] + "\x00" + d[1] + "\x00"))
+	}
+	for _, t := range f.tokenEntries() {
+		h.Write([]byte("t\x00" + t[0] + "\x00" + t[1] + "\x00"))
+	}
+	return h.Sum64()
 }
 
 // domainEntries returns (domain, label) pairs in sorted order for

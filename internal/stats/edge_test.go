@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"math/big"
 	"reflect"
 	"testing"
 )
@@ -224,4 +225,144 @@ func TestStatsEdgeCases(t *testing.T) {
 			t.Fatalf("negative window Bursts = %+v", got)
 		}
 	})
+}
+
+// TestDownsampleBoundaryTable is the exhaustive boundary audit for
+// Downsample: every (n, k) pair in a small grid, including k <= 0,
+// k == Len(), k == Len()±1 and k far beyond Len(). For every valid k the
+// result must have exactly min(k, n) points, strictly increasing x, end
+// exactly at (n, Final) — the trailing partial bucket is never dropped —
+// and every y must be the true cumulative count at its x.
+func TestDownsampleBoundaryTable(t *testing.T) {
+	for n := 0; n <= 40; n++ {
+		s := NewSeries()
+		for i := 0; i < n; i++ {
+			s.Observe(i%3 == 0) // any deterministic hit pattern
+		}
+		for k := -2; k <= n+5; k++ {
+			got := s.Downsample(k)
+			if n == 0 || k <= 0 {
+				if got != nil {
+					t.Fatalf("n=%d k=%d: want nil, got %+v", n, k, got)
+				}
+				continue
+			}
+			wantLen := k
+			if wantLen > n {
+				wantLen = n
+			}
+			if len(got) != wantLen {
+				t.Fatalf("n=%d k=%d: %d points, want %d", n, k, len(got), wantLen)
+			}
+			prevX := 0
+			for _, p := range got {
+				if p.X <= prevX || p.X > n {
+					t.Fatalf("n=%d k=%d: x=%d not strictly increasing in (0,%d]: %+v", n, k, p.X, n, got)
+				}
+				if want := s.cum[p.X-1]; p.Y != want {
+					t.Fatalf("n=%d k=%d: y=%d at x=%d, want %d", n, k, p.Y, p.X, want)
+				}
+				prevX = p.X
+			}
+			if last := got[len(got)-1]; last.X != n || last.Y != s.Final() {
+				t.Fatalf("n=%d k=%d: final point %+v, want (%d,%d) — trailing bucket dropped", n, k, last, n, s.Final())
+			}
+		}
+	}
+}
+
+// TestDownsampleIdxOverflow is the regression test for the bucket-index
+// arithmetic: the pre-fix expression (i+1)*n/k formed the product (i+1)*n,
+// which wraps negative once n exceeds MaxInt/k — Downsample on such a
+// series indexed cum[idx-1] out of range and panicked. The decomposed form
+// must agree with arbitrary-precision arithmetic at the extremes.
+func TestDownsampleIdxOverflow(t *testing.T) {
+	cases := []struct{ i, n, k int }{
+		{0, math.MaxInt - 7, 3},
+		{1, math.MaxInt - 7, 3},
+		{2, math.MaxInt - 7, 3},
+		{6, math.MaxInt / 2, 7},
+		{23, math.MaxInt - 1, 24},
+		{0, 10, 3}, // small sanity anchor
+		{2, 10, 3},
+	}
+	for _, c := range cases {
+		want := new(big.Int).Mul(big.NewInt(int64(c.i+1)), big.NewInt(int64(c.n)))
+		want.Div(want, big.NewInt(int64(c.k)))
+		if !want.IsInt64() {
+			t.Fatalf("case %+v: expected value does not fit int64", c)
+		}
+		if got := downsampleIdx(c.i, c.n, c.k); int64(got) != want.Int64() {
+			t.Fatalf("downsampleIdx(%d, %d, %d) = %d, want %d", c.i, c.n, c.k, got, want.Int64())
+		}
+	}
+}
+
+// TestBurstsAcrossEpochBoundary is the regression test for folding
+// per-epoch segments: a campaign burst whose hot region straddles the
+// epoch boundary (last 5 observations of epoch A, first 5 of epoch B) must
+// be reported as ONE burst spanning the boundary. The pre-fix fold
+// appended raw cumulative arrays without re-basing, so the folded series
+// reset to the segment's own count at the boundary; the window straddling
+// it differenced a smaller count from a larger one, saw zero (or negative)
+// hits, and closed the burst at the boundary — splitting the campaign in
+// two or dropping its second half.
+func TestBurstsAcrossEpochBoundary(t *testing.T) {
+	epochA := NewSeries()
+	for i := 0; i < 15; i++ {
+		epochA.Observe(false)
+	}
+	for i := 0; i < 5; i++ {
+		epochA.Observe(true)
+	}
+	epochB := NewSeries()
+	for i := 0; i < 5; i++ {
+		epochB.Observe(true)
+	}
+	for i := 0; i < 15; i++ {
+		epochB.Observe(false)
+	}
+
+	folded := ConcatSeries(epochA, epochB)
+	if folded.Len() != 40 {
+		t.Fatalf("folded Len = %d, want 40", folded.Len())
+	}
+	if folded.Final() != epochA.Final()+epochB.Final() {
+		t.Fatalf("folded Final = %d, want %d (monotone re-based fold)",
+			folded.Final(), epochA.Final()+epochB.Final())
+	}
+	cum := folded.Cumulative()
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("folded series not monotone at %d: %d < %d", i, cum[i], cum[i-1])
+		}
+	}
+
+	// Hot region is observations [15, 25): windows [10,20) and [20,30) are
+	// both half-hot, over threshold, and must merge into one burst.
+	bursts := folded.Bursts(10, 1.6)
+	if len(bursts) != 1 {
+		t.Fatalf("bursts = %+v, want exactly one boundary-spanning burst", bursts)
+	}
+	if b := bursts[0]; b.Start != 10 || b.End != 30 {
+		t.Fatalf("burst = [%d,%d), want [10,30) spanning the epoch boundary at 20", b.Start, b.End)
+	}
+}
+
+// TestConcatSeriesEdges: nil and empty segments fold to nothing.
+func TestConcatSeriesEdges(t *testing.T) {
+	if got := ConcatSeries(); got.Len() != 0 {
+		t.Fatalf("empty ConcatSeries Len = %d", got.Len())
+	}
+	s := NewSeries()
+	s.Observe(true)
+	folded := ConcatSeries(nil, NewSeries(), s)
+	if folded.Len() != 1 || folded.Final() != 1 {
+		t.Fatalf("ConcatSeries(nil, empty, s) = len %d final %d", folded.Len(), folded.Final())
+	}
+	// The fold is a copy: growing it must not touch the source.
+	folded.Observe(true)
+	if s.Len() != 1 {
+		t.Fatalf("source series mutated by fold: len %d", s.Len())
+	}
 }

@@ -299,6 +299,9 @@ func prevCum(cum []int, i int) int {
 
 // Downsample returns k evenly spaced (x, y) points of the series for
 // plotting. If the series has fewer than k points all points are returned.
+// For every valid k the result ends at (Len, Final) — the trailing partial
+// bucket is represented, never dropped — and the x values are strictly
+// increasing.
 func (s *Series) Downsample(k int) []Point {
 	n := len(s.cum)
 	if n == 0 || k <= 0 {
@@ -309,11 +312,50 @@ func (s *Series) Downsample(k int) []Point {
 	}
 	out := make([]Point, 0, k)
 	for i := 0; i < k; i++ {
-		idx := (i + 1) * n / k
+		idx := downsampleIdx(i, n, k)
 		if idx > n {
 			idx = n
 		}
 		out = append(out, Point{X: idx, Y: s.cum[idx-1]})
+	}
+	return out
+}
+
+// downsampleIdx computes ceil-spaced bucket boundary (i+1)*n/k without
+// forming the product (i+1)*n, which overflows int for series longer than
+// MaxInt/k — the wrapped product went negative and indexed cum out of
+// range. The decomposition (i+1)*(n/k) + (i+1)*(n%k)/k is exact and its
+// intermediates are bounded by n and k*k, so it is safe for any series
+// that fits in memory at any plot-sized k.
+func downsampleIdx(i, n, k int) int {
+	q, r := n/k, n%k
+	return (i+1)*q + (i+1)*r/k
+}
+
+// AppendSegment folds another series onto the end of s, as when a
+// longitudinal study stitches per-epoch segments into one cross-epoch
+// series. The segment's cumulative counts are re-based on s's final count
+// so the folded series stays monotone: the pre-fix fold appended the raw
+// cumulative arrays, the counts reset to zero at every epoch boundary, and
+// Bursts — which differences the cumulative array across window edges —
+// computed negative hit counts for any window spanning a boundary,
+// splitting or dropping bursts that crossed epochs.
+func (s *Series) AppendSegment(seg *Series) {
+	base := s.Final()
+	for _, c := range seg.cum {
+		s.cum = append(s.cum, base+c)
+	}
+}
+
+// ConcatSeries folds per-epoch segments, in order, into one series.
+// Nil segments are skipped; the result is independent storage.
+func ConcatSeries(segs ...*Series) *Series {
+	out := NewSeries()
+	for _, seg := range segs {
+		if seg == nil {
+			continue
+		}
+		out.AppendSegment(seg)
 	}
 	return out
 }

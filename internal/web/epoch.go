@@ -1,0 +1,128 @@
+package web
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/simrand"
+	"repro/internal/urlutil"
+)
+
+// EpochParams adds the longitudinal clock to universe generation. The
+// zero value is "epoch zero of a single-epoch study" and generates a
+// universe bit-identical to the pre-longitudinal Generate: no churn
+// substreams are consumed and the intel layer sees current truth.
+type EpochParams struct {
+	// Epoch is the simulated-time index of this universe build, starting
+	// at 0. A longitudinal study generates one universe per epoch from the
+	// same seed; epoch N's universe embeds the full churn history 1..N.
+	Epoch int
+	// ChurnFrac is the per-epoch probability that a malicious site
+	// re-registers: a fresh domain, a fresh family token, re-rendered
+	// content. Benign sites never churn (legitimate members keep their
+	// domains); churned hosts are never reused.
+	ChurnFrac float64
+	// BlacklistLag is how many epochs behind ground truth the blacklist
+	// databases and the threat feed run: epoch N's intel layer is built
+	// from the site identities of epoch max(0, N-BlacklistLag).
+	BlacklistLag int
+	// DecayPerEpoch additionally erodes stale blacklist entries per epoch
+	// of staleness (see blacklist.BuildConfig.DecayPerEpoch). Zero keeps
+	// lagged lists complete, which also keeps the intel layer identical
+	// across epochs until the lag window moves.
+	DecayPerEpoch float64
+}
+
+// SiteIdentity is one (host, family token) identity a site held, with the
+// epoch it was first live at. Identities never overlap: a site's identity
+// at epoch e is the last one with FromEpoch <= e.
+type SiteIdentity struct {
+	Host        string
+	FamilyToken string
+	FromEpoch   int
+}
+
+// IdentityAt returns the identity the site held at the given epoch. Sites
+// that never churned return their (only) current identity; epochs before
+// the first recorded identity clamp to it.
+func (s *Site) IdentityAt(epoch int) SiteIdentity {
+	if len(s.Identities) == 0 {
+		return SiteIdentity{Host: s.Host, FamilyToken: s.FamilyToken}
+	}
+	out := s.Identities[0]
+	for _, id := range s.Identities[1:] {
+		if id.FromEpoch > epoch {
+			break
+		}
+		out = id
+	}
+	return out
+}
+
+// applyChurn runs the per-epoch re-registration passes 1..ep.Epoch over
+// the constructed (but not yet registered) site list. Each pass draws from
+// its own substream, after every base-generation draw, so epoch N's
+// universe extends epoch N-1's history without disturbing it — and epoch 0
+// draws nothing at all. Returns the sites whose identity changed in the
+// final pass, i.e. between epoch N-1 and epoch N.
+func applyChurn(rng *simrand.Source, ep EpochParams, sites []*Site, used map[string]bool) []*Site {
+	for k := 1; k <= ep.Epoch; k++ {
+		churnRng := rng.Sub(fmt.Sprintf("churn:%d", k))
+		for _, s := range sites {
+			if s.Kind == Benign || !churnRng.Bool(ep.ChurnFrac) {
+				continue
+			}
+			if len(s.Identities) == 0 {
+				s.Identities = []SiteIdentity{{Host: s.Host, FamilyToken: s.FamilyToken, FromEpoch: 0}}
+			}
+			s.Host = uniqueDomain(churnRng, used)
+			s.TLD = urlutil.TLD(s.Host)
+			s.FamilyToken = "fam_" + churnRng.LowerToken(3) + "_" + churnRng.Token(8)
+			s.EntryURL = "http://" + s.Host + "/"
+			s.Gen++
+			s.Identities = append(s.Identities, SiteIdentity{Host: s.Host, FamilyToken: s.FamilyToken, FromEpoch: k})
+		}
+	}
+	var changed []*Site
+	for _, s := range sites {
+		if n := len(s.Identities); n > 0 && s.Identities[n-1].FromEpoch == ep.Epoch {
+			changed = append(changed, s)
+		}
+	}
+	return changed
+}
+
+// IntelFingerprint digests the whole intelligence layer — threat feed and
+// blacklist set content. Engine signature subsets are drawn by iterating
+// the sorted feed, so per-site fingerprints are unsound: the ONLY safe
+// condition for reusing a verdict from another epoch is that this global
+// fingerprint (plus the study seed, which the checkpoint layer already
+// pins) is unchanged.
+func (u *Universe) IntelFingerprint() uint64 {
+	h := fnv.New64a()
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], u.Feed.Fingerprint())
+	binary.LittleEndian.PutUint64(b[8:], u.Blacklists.Fingerprint())
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// IntelCoverage reports how much of the CURRENT malicious population the
+// (possibly lagged, possibly decayed) intel layer still covers: sites
+// whose current host reaches blacklist consensus, sites whose current
+// host the feed knows by domain, and the population size. At lag 0 this
+// is the build-time coverage; as churn outruns a lagged feed the counts
+// fall — the blacklist-lag distribution of the longitudinal report.
+func (u *Universe) IntelCoverage() (consensus, feed, total int) {
+	for _, s := range u.MaliciousSites() {
+		total++
+		if u.Blacklists.Malicious(s.Host) {
+			consensus++
+		}
+		if _, ok := u.Feed.DomainLabel(s.Host); ok {
+			feed++
+		}
+	}
+	return consensus, feed, total
+}

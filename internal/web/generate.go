@@ -94,14 +94,25 @@ var kindMinimums = map[MaliceKind]int{
 	MaliciousFlash:     10,
 }
 
-// Generate builds the universe.
+// Generate builds the universe at epoch zero of a single-epoch study.
 func Generate(cfg Config) *Universe {
+	return GenerateEpoch(cfg, EpochParams{})
+}
+
+// GenerateEpoch builds the universe as it stands at ep.Epoch: the base
+// population is generated exactly as at epoch zero (same draws, same
+// order), then the churn passes 1..Epoch re-register malicious sites, and
+// the intel layer is built from the identities of epoch Epoch-BlacklistLag.
+// Site registration itself draws nothing, so a zero EpochParams yields a
+// universe bit-identical to Generate's pre-longitudinal output.
+func GenerateEpoch(cfg Config, ep EpochParams) *Universe {
 	rng := simrand.New(cfg.Seed)
 	u := &Universe{
 		Internet:      httpsim.NewInternet(),
 		Shorteners:    shortener.NewRegistry(),
 		Feed:          scanner.NewThreatFeed(),
 		PopularHosts:  make(map[string]bool),
+		Epoch:         ep,
 		byKind:        make(map[MaliceKind][]*Site),
 		siteByDomain:  make(map[string]*Site),
 		truthByDomain: make(map[string]MaliceKind),
@@ -116,6 +127,7 @@ func Generate(cfg Config) *Universe {
 	used := map[string]bool{}
 
 	// Benign sites.
+	ordered := make([]*Site, 0, cfg.BenignSites+cfg.MaliciousSites)
 	benignRng := rng.Sub("benign")
 	for i := 0; i < cfg.BenignSites; i++ {
 		s := &Site{
@@ -129,7 +141,7 @@ func Generate(cfg Config) *Universe {
 		s.TLD = urlutil.TLD(s.Host)
 		s.Pages = makePages(benignRng)
 		s.EntryURL = "http://" + s.Host + "/"
-		u.addSite(s)
+		ordered = append(ordered, s)
 	}
 
 	// Malicious sites: honor minimums, distribute the rest by weights.
@@ -156,8 +168,16 @@ func Generate(cfg Config) *Universe {
 			case Redirector:
 				s.ChainLen = 1 + simrand.NewWeighted(chainLenWeights).Sample(malRng)
 			}
-			u.addSite(s)
+			ordered = append(ordered, s)
 		}
+	}
+
+	// Domain churn: epochs 1..N re-register malicious sites before any of
+	// them is registered or indexed, so the maps below only ever see the
+	// epoch's live identities.
+	u.ChangedSites = applyChurn(rng, ep, ordered, used)
+	for _, s := range ordered {
+		u.addSite(s)
 	}
 
 	// Shortened-malicious entry aliases.
@@ -174,7 +194,7 @@ func Generate(cfg Config) *Universe {
 	}
 
 	u.registerSiteHandlers(rng, ctx)
-	u.buildBlacklistsAndFeed(rng.Sub("intel"), ctx)
+	u.buildBlacklistsAndFeed(rng.Sub("intel"), ctx, ep)
 	return u
 }
 
@@ -384,8 +404,12 @@ func (u *Universe) serveRedirectorHop(s *Site, bridges []string, rng *simrand.So
 	return httpsim.Redirect(next)
 }
 
-func landingHostFor(s *Site) string {
-	return "land-" + strings.ReplaceAll(s.Host, ".", "-") + ".net"
+func landingHostFor(s *Site) string { return landingHostForHost(s.Host) }
+
+// landingHostForHost derives the landing host for a redirector identity;
+// the intel build needs it for lagged (pre-churn) hosts too.
+func landingHostForHost(host string) string {
+	return "land-" + strings.ReplaceAll(host, ".", "-") + ".net"
 }
 
 func (u *Universe) registerLandingHost(s *Site, rng *simrand.Source, ctx renderCtx) {
@@ -569,18 +593,30 @@ func (u *Universe) registerShorteners() []*shortener.Service {
 // malicious infrastructure; the threat feed additionally knows the family
 // tokens (every planted family is assumed known to the AV industry in
 // aggregate — per-engine coverage is where partial knowledge is modeled).
-func (u *Universe) buildBlacklistsAndFeed(rng *simrand.Source, ctx renderCtx) {
+//
+// In a longitudinal build the intel layer LAGS ground truth: it is derived
+// from the site identities of epoch max(0, Epoch-BlacklistLag), so a site
+// that re-registered inside the lag window is known by its old domain and
+// old family token while the crawl sees its new ones. The draw sequence
+// per site is identical at every lag — only the strings fed in differ —
+// so epoch 0 (or lag 0) reproduces the pre-longitudinal bytes exactly.
+func (u *Universe) buildBlacklistsAndFeed(rng *simrand.Source, ctx renderCtx, ep EpochParams) {
+	intelEpoch := ep.Epoch - ep.BlacklistLag
+	if intelEpoch < 0 {
+		intelEpoch = 0
+	}
 	var badDomains []string
 	add := func(domain string) { badDomains = append(badDomains, domain) }
 
 	for _, s := range u.byKind[Blacklisted] {
-		add(s.Host)
-		u.Feed.AddDomain(s.Host, scanner.LabelBlacklisted)
+		host := s.IdentityAt(intelEpoch).Host
+		add(host)
+		u.Feed.AddDomain(host, scanner.LabelBlacklisted)
 	}
 	for _, s := range u.byKind[Redirector] {
 		// The landing domain is the known-bad endpoint; the entry domain
 		// is the "seemingly benign" face the paper describes.
-		landing := landingHostFor(s)
+		landing := landingHostForHost(s.IdentityAt(intelEpoch).Host)
 		add(landing)
 		u.Feed.AddDomain(landing, scanner.LabelScriptGeneric)
 	}
@@ -594,16 +630,18 @@ func (u *Universe) buildBlacklistsAndFeed(rng *simrand.Source, ctx renderCtx) {
 		u.Feed.AddDomain(infra.host, infra.label)
 	}
 
-	// Family token signatures: all planted families.
+	// Family token signatures: all planted families, as known at the
+	// intel epoch.
 	feedRng := rng.Sub("feed")
 	for _, s := range u.MaliciousSites() {
 		label := labelForKind(s.Kind, s.Variant)
-		u.Feed.AddToken(s.FamilyToken, label)
+		id := s.IdentityAt(intelEpoch)
+		u.Feed.AddToken(id.FamilyToken, label)
 		// Some JS/Flash/Misc domains are additionally known by domain.
 		switch s.Kind {
 		case MaliciousJS, MaliciousFlash, Miscellaneous, ShortenedMalicious:
 			if feedRng.Bool(0.5) {
-				u.Feed.AddDomain(s.Host, label)
+				u.Feed.AddDomain(id.Host, label)
 			}
 		}
 	}
@@ -616,7 +654,10 @@ func (u *Universe) buildBlacklistsAndFeed(rng *simrand.Source, ctx renderCtx) {
 	for _, s := range u.byKind[Benign] {
 		benignDomains = append(benignDomains, s.Host)
 	}
-	u.Blacklists = blacklist.BuildStandardSet(rng.Sub("lists"), badDomains, benignDomains, blacklist.DefaultBuildConfig())
+	bcfg := blacklist.DefaultBuildConfig()
+	bcfg.Staleness = ep.Epoch - intelEpoch
+	bcfg.DecayPerEpoch = ep.DecayPerEpoch
+	u.Blacklists = blacklist.BuildStandardSet(rng.Sub("lists"), badDomains, benignDomains, bcfg)
 }
 
 func labelForKind(k MaliceKind, v JSVariant) string {

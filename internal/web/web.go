@@ -123,6 +123,13 @@ type Site struct {
 	// HasBrochure links a benign PDF document from the site's pages —
 	// innocuous sibling traffic for the document-malware detector.
 	HasBrochure bool
+	// Gen counts the site's re-registrations (0 = the original identity).
+	// Only malicious sites churn.
+	Gen int
+	// Identities is the site's full identity history, oldest first,
+	// INCLUDING the current identity as its last element; nil for sites
+	// that never churned. See IdentityAt.
+	Identities []SiteIdentity
 }
 
 // PageURLs returns the absolute URLs of the site's own pages.
@@ -151,6 +158,14 @@ type Universe struct {
 	PopularURLs []string
 	// PopularHosts is the corresponding host set.
 	PopularHosts map[string]bool
+	// Epoch records the longitudinal parameters this universe was built
+	// at; the zero value means a plain single-epoch build.
+	Epoch EpochParams
+	// ChangedSites lists the sites whose identity changed between epoch
+	// Epoch-1 and Epoch (i.e. in the final churn pass); nil at epoch 0.
+	// A delta-mode re-crawl only needs to re-scan these (plus anything
+	// whose content digest disagrees — the verdict key enforces that).
+	ChangedSites []*Site
 
 	byKind map[MaliceKind][]*Site
 	// truthByDomain maps registered domain -> planted kind, for
