@@ -467,6 +467,58 @@ func BenchmarkStreamingStudy(b *testing.B) {
 	}
 }
 
+// BenchmarkLongitudinalStudy measures the flagship multi-epoch workload:
+// 8 epochs at scale 20 with low churn and a lagged blacklist, in delta
+// mode. mode=incremental is the production path — universes advanced
+// epoch-to-epoch, cross-epoch render memoization, the next epoch
+// prefetched while the current one streams; mode=scratch forces the
+// PR-9-style serial rebuild (SerialRebuild) as the comparison baseline.
+// alloc-B/record and ms/epoch on the incremental path are BENCH-guarded:
+// with low churn an epoch's cost must track the churn diff, not the
+// universe size.
+func BenchmarkLongitudinalStudy(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		serial bool
+	}{
+		{"incremental", false},
+		{"scratch", true},
+	} {
+		b.Run("mode="+mode.name, func(b *testing.B) {
+			const epochs = 8
+			cfg := core.DefaultStudyConfig()
+			cfg.Seed = 1
+			cfg.Scale = 20
+			cfg.Epochs = epochs
+			cfg.ChurnFrac = 0.05
+			cfg.BlacklistLag = 1
+			cfg.DriveShortenerTraffic = false
+			b.ReportAllocs()
+			records := 0
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunLongitudinalStudy(cfg, core.LongitudinalOptions{
+					DeltaDir:      b.TempDir(),
+					SerialRebuild: mode.serial,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, e := range res.Epochs {
+					records += e.Analysis.TotalCrawled
+				}
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&after)
+			b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/float64(records), "alloc-B/record")
+			b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(epochs*b.N), "ms/epoch")
+		})
+	}
+}
+
 // BenchmarkShardMerge measures the fleet shard-merge path end to end:
 // decode every shard checkpoint of a multi-exchange study and fold them
 // into one Analysis. The records/sec throughput is the BENCH-guarded

@@ -47,6 +47,7 @@ import (
 	"repro/internal/httpsim"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/web"
 )
 
 func main() {
@@ -210,6 +211,10 @@ func runLongitudinalFleet(cfg core.StudyConfig, out io.Writer, ff fleetFlags) er
 		return fmt.Errorf("-merge/-shards require -shard-dir DIR")
 	}
 	res := &core.LongitudinalResult{Config: cfg}
+	// Each epoch's universe advances incrementally from the previous
+	// epoch's (one universe per epoch shared by the whole fleet), exactly
+	// like the slumreport streaming path — byte-identical output either way.
+	var prevU *web.Universe
 	for e := 0; e < cfg.Epochs; e++ {
 		ecfg := cfg
 		ecfg.Epoch = e
@@ -224,11 +229,11 @@ func runLongitudinalFleet(cfg core.StudyConfig, out io.Writer, ff fleetFlags) er
 		var err error
 		if ff.merge {
 			fmt.Fprintf(os.Stderr, "merging shards: seed=%d scale=%d epoch=%d dir=%s\n", ecfg.Seed, ecfg.Scale, e, dir)
-			st, err = core.MergeShardStudy(ecfg, dir)
+			st, err = core.MergeShardStudyFrom(ecfg, prevU, dir)
 		} else {
 			fmt.Fprintf(os.Stderr, "running fleet: seed=%d scale=%d fleet=%d epoch=%d/%d (~%d URLs/epoch)...\n",
 				ecfg.Seed, ecfg.Scale, ff.fleet, e, cfg.Epochs, 1003087/ecfg.Scale)
-			st, err = core.RunStudyFleet(ecfg, core.FleetOptions{
+			st, err = core.RunStudyFleetFrom(ecfg, prevU, core.FleetOptions{
 				Fleet:           ff.fleet,
 				ShardDir:        dir,
 				CheckpointEvery: ff.ckptEvery,
@@ -241,6 +246,7 @@ func runLongitudinalFleet(cfg core.StudyConfig, out io.Writer, ff fleetFlags) er
 		if err != nil {
 			return fmt.Errorf("epoch %d: %w", e, err)
 		}
+		prevU = st.Universe
 		if !ff.merge && len(ff.only) > 0 {
 			continue
 		}

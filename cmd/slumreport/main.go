@@ -6,7 +6,7 @@
 //
 //	slumreport [-seed N] [-scale N] [-workers N] [-faults PROFILE] [-retries N] [-table N] [-figure N] [-metrics]
 //	           [-js-fuel N] [-js-heap N] [-stream] [-checkpoint FILE] [-resume] [-checkpoint-every N]
-//	           [-epochs N] [-churn F] [-blacklist-lag N] [-blacklist-decay F] [-delta-dir DIR]
+//	           [-epochs N] [-churn F] [-blacklist-lag N] [-blacklist-decay F] [-delta-dir DIR] [-serial-rebuild]
 //
 // With no -table/-figure selection, everything is printed. -scale divides
 // the paper's crawl volumes (default 20: ~50k URLs, seconds of runtime;
@@ -48,9 +48,15 @@
 // re-crawl: each epoch writes a SLUMCKPT epoch delta recording which
 // sites changed and the verdicts carried forward, so the next epoch only
 // re-scans changed pages — the report stays byte-identical to a full
-// re-crawl. -checkpoint composes with -epochs (the file is suffixed per
-// epoch; interrupted studies resume automatically on relaunch), while
-// -json and -fleet do not.
+// re-crawl. Multi-epoch runs take the incremental fast path
+// automatically: each epoch's universe is advanced from the previous
+// one's (only churned sites are rebuilt, rendered pages are reused) and
+// the next epoch is prepared while the current one streams. No flag
+// enables this; -serial-rebuild opts out, regenerating every epoch from
+// scratch, for byte-identity comparisons against the fast path (output
+// is identical either way, only slower). -checkpoint composes with
+// -epochs (the file is suffixed per epoch; interrupted studies resume
+// automatically on relaunch), while -json and -fleet do not.
 package main
 
 import (
@@ -99,6 +105,7 @@ func run(args []string, out io.Writer) error {
 	blLag := fs.Int("blacklist-lag", 0, "epochs the blacklist databases and threat feed lag behind ground truth")
 	blDecay := fs.Float64("blacklist-decay", 0, "per-epoch-of-staleness erosion rate of lagged blacklist entries")
 	deltaDir := fs.String("delta-dir", "", "directory for epoch deltas; enables incremental re-crawl between epochs")
+	serialRebuild := fs.Bool("serial-rebuild", false, "longitudinal: rebuild every epoch's universe from scratch instead of advancing incrementally (slower; byte-identical output)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -134,10 +141,14 @@ func run(args []string, out io.Writer) error {
 			deltaDir: *deltaDir, ckptPath: *ckptPath, ckptEvery: *ckptEvery,
 			abortAfter: *abortAfter, table: *table, figure: *figure,
 			asJSON: *asJSON, withMetrics: *withMetrics, fleet: *fleet,
+			serialRebuild: *serialRebuild,
 		})
 	}
 	if *deltaDir != "" {
 		return fmt.Errorf("-delta-dir requires -epochs > 1")
+	}
+	if *serialRebuild {
+		return fmt.Errorf("-serial-rebuild requires -epochs > 1")
 	}
 	fmt.Fprintf(os.Stderr, "running study: seed=%d scale=%d (~%d URLs)...\n",
 		cfg.Seed, cfg.Scale, 1003087/cfg.Scale)
@@ -230,6 +241,9 @@ type longitudinalFlags struct {
 	asJSON      bool
 	withMetrics bool
 	fleet       int
+	// serialRebuild regenerates each epoch's universe from scratch (the
+	// pre-incremental behaviour) — the diff leg CI pins the fast path with.
+	serialRebuild bool
 }
 
 // runLongitudinal executes a multi-epoch study and prints one report
@@ -248,7 +262,8 @@ func runLongitudinal(cfg core.StudyConfig, out io.Writer, lf longitudinalFlags) 
 	fmt.Fprintf(os.Stderr, "running longitudinal study: seed=%d scale=%d epochs=%d churn=%g lag=%d (~%d URLs/epoch)...\n",
 		cfg.Seed, cfg.Scale, cfg.Epochs, cfg.ChurnFrac, cfg.BlacklistLag, 1003087/cfg.Scale)
 	res, err := core.RunLongitudinalStudy(cfg, core.LongitudinalOptions{
-		DeltaDir: lf.deltaDir,
+		DeltaDir:      lf.deltaDir,
+		SerialRebuild: lf.serialRebuild,
 		Stream: core.StreamOptions{
 			CheckpointPath:  lf.ckptPath,
 			CheckpointEvery: lf.ckptEvery,

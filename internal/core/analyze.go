@@ -207,6 +207,20 @@ type foldState struct {
 	domainSet    map[string]bool
 	shortSet     map[string]bool
 	keepVerdicts bool
+	// contentCats memoizes contentCategoryOf by body identity; see
+	// foldState.contentCategory.
+	contentCats map[bodyIdentity]string
+}
+
+// bodyIdentity identifies a record body by pointer and length rather than
+// content. Served pages share one rendered byte array across every fetch
+// (the web package's render cache hands out shallow response copies over
+// immutable bodies), so equal identity implies equal bytes. Map keys pin
+// their arrays, which is what makes the scheme sound: a freed array can
+// never be recycled into a colliding identity while the memo holds it.
+type bodyIdentity struct {
+	p *byte
+	n int
 }
 
 // newFoldState builds an empty accumulator for the named exchanges, in
@@ -228,6 +242,7 @@ func newFoldState(an *Analyzer, names []string, kinds []exchange.Kind, keepVerdi
 		domainSet:    map[string]bool{},
 		shortSet:     map[string]bool{},
 		keepVerdicts: keepVerdicts,
+		contentCats:  map[bodyIdentity]string{},
 	}
 	for i, name := range names {
 		fs.exchanges = append(fs.exchanges, &exchangeFold{
@@ -369,7 +384,7 @@ func (fs *foldState) recordMalicious(scope string, rec *crawler.Record, v Verdic
 		out.TLDCounts.Add(normalizeTLD(tld))
 	}
 	parse := fs.an.Tracer.Start(scope, obs.StageParse)
-	out.ContentCategories.Add(contentCategoryOf(rec.Body))
+	out.ContentCategories.Add(fs.contentCategory(rec.Body))
 	parse.End()
 	if rec.Redirects > 0 {
 		out.RedirectHist.Observe(rec.Redirects)
@@ -389,6 +404,39 @@ func normalizeTLD(tld string) string {
 	}
 	return tld
 }
+
+// contentCategory is contentCategoryOf memoized by body identity. Under
+// exchange rotation the same page is re-crawled hundreds of times per
+// epoch, and every fetch of it carries the same shared body array, so the
+// HTML title parse runs once per distinct page instead of once per
+// malicious record. Bodies the render cache never saw (fresh arrays each
+// serve) miss the memo and simply re-parse — slower, never wrong. The
+// fold owns the memo single-threadedly and it is not part of the
+// checkpointed state: it is a pure derivation cache, and a resumed run
+// rebuilds it as it folds.
+func (fs *foldState) contentCategory(body []byte) string {
+	if len(body) == 0 {
+		return "Others"
+	}
+	id := bodyIdentity{&body[0], len(body)}
+	if c, ok := fs.contentCats[id]; ok {
+		return c
+	}
+	c := contentCategoryOf(body)
+	// The cap keeps the streaming path's bounded-memory promise even if
+	// every body were a fresh array (each memo entry pins its body): past
+	// it, categories are recomputed instead of remembered.
+	if len(fs.contentCats) < identityMemoLimit {
+		fs.contentCats[id] = c
+	}
+	return c
+}
+
+// identityMemoLimit bounds the body-identity memos (content categories,
+// verdict keys). Distinct cached pages number in the thousands at the
+// largest study scales, so the limit only binds when bodies bypass the
+// render cache and every record would otherwise add a body-pinning entry.
+const identityMemoLimit = 1 << 16
 
 // contentCategoryOf derives the Figure 7 content category from the page
 // itself: sites title themselves "Name — Category" (as the universe's

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/crawler"
 	"repro/internal/obs"
+	"repro/internal/web"
 )
 
 // Fleet mode partitions the study by exchange: shard i is exchange i's
@@ -225,6 +226,7 @@ func (st *Study) RunFleet(opts FleetOptions) error {
 	if partial {
 		// Distributed mode: the shard files are the product. A merge-only
 		// pass (MergeShardStudy) folds them once every subset has run.
+		st.publishRenderMetrics()
 		return nil
 	}
 
@@ -259,6 +261,7 @@ func (st *Study) RunFleet(opts FleetOptions) error {
 	}
 	st.Config.Metrics.Histogram("study.fleet_seconds").Observe(time.Since(start).Seconds())
 	st.Analysis = a
+	st.publishRenderMetrics()
 
 	if opts.ShardDir != "" && !opts.KeepShards {
 		// The run is complete and merged: shard files exist exactly while
@@ -409,7 +412,15 @@ func fleetScope(only []int, n int) ([]int, error) {
 // RunStudyFleet is the fleet analog of RunStudy/RunStudyStream: build the
 // study, then execute it as a sharded fleet.
 func RunStudyFleet(cfg StudyConfig, opts FleetOptions) (*Study, error) {
-	st, err := NewStudy(cfg)
+	return RunStudyFleetFrom(cfg, nil, opts)
+}
+
+// RunStudyFleetFrom is RunStudyFleet with an optional previous epoch's
+// universe to advance incrementally (see NewStudyFrom). The longitudinal
+// fleet path threads each epoch's universe into the next so the whole
+// fleet shares ONE universe per epoch instead of regenerating it.
+func RunStudyFleetFrom(cfg StudyConfig, prev *web.Universe, opts FleetOptions) (*Study, error) {
+	st, err := NewStudyFrom(cfg, prev)
 	if err != nil {
 		return nil, err
 	}
@@ -426,7 +437,13 @@ func RunStudyFleet(cfg StudyConfig, opts FleetOptions) (*Study, error) {
 // of the same configuration — this is the merge-only pass distributed
 // fleets finish with.
 func MergeShardStudy(cfg StudyConfig, dir string) (*Study, error) {
-	st, err := NewStudy(cfg)
+	return MergeShardStudyFrom(cfg, nil, dir)
+}
+
+// MergeShardStudyFrom is MergeShardStudy with an optional previous
+// epoch's universe to advance incrementally (see NewStudyFrom).
+func MergeShardStudyFrom(cfg StudyConfig, prev *web.Universe, dir string) (*Study, error) {
+	st, err := NewStudyFrom(cfg, prev)
 	if err != nil {
 		return nil, err
 	}

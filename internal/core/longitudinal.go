@@ -31,6 +31,13 @@ type LongitudinalOptions struct {
 	// writes epochNNN.slumdelta into the directory and epoch N+1 seeds
 	// its verdict cache from epoch N's file. Requires the verdict cache.
 	DeltaDir string
+	// SerialRebuild disables the incremental fast path: every epoch's
+	// universe is regenerated from scratch, no epoch is prefetched, and
+	// delta preloads are re-read from disk instead of passed through in
+	// memory. Output is byte-identical either way — this exists so the
+	// equivalence tests, the epoch-soak diff leg and the benchmark
+	// baseline can pin the fast path against the rebuild-everything one.
+	SerialRebuild bool
 	// Stream is the base streaming configuration. CheckpointPath, when
 	// set, is suffixed ".epochN" per epoch and existing per-epoch
 	// checkpoints are resumed automatically (epochs that completed have
@@ -118,6 +125,15 @@ func DeltaPath(dir string, epoch int) string {
 // LongitudinalOptions for checkpointing, abort-budget and delta-mode
 // behaviour. On abort the partial result accumulated so far is returned
 // alongside the error.
+//
+// Unless SerialRebuild is set the runner is incremental and pipelined:
+// epoch e+1's universe is derived from epoch e's via web.AdvanceEpoch
+// (O(changed sites), shared render cache) on a background goroutine
+// WHILE epoch e streams, and in delta mode the just-written delta is
+// handed to the next epoch in memory instead of being re-read from
+// disk. None of this changes any output byte: the fold stays strictly
+// serial per epoch, checkpoints and kill-resume behave as before, and
+// the delta file on disk remains authoritative for resumed processes.
 func RunLongitudinalStudy(cfg StudyConfig, opts LongitudinalOptions) (*LongitudinalResult, error) {
 	if opts.Stream.Preload != nil || opts.Stream.WriteDeltaPath != "" {
 		return nil, errors.New("core: longitudinal runner owns Preload/WriteDeltaPath — leave them unset")
@@ -126,19 +142,80 @@ func RunLongitudinalStudy(cfg StudyConfig, opts LongitudinalOptions) (*Longitudi
 	if epochs <= 0 {
 		epochs = 1
 	}
-	res := &LongitudinalResult{Config: cfg}
-	budget := opts.Stream.AbortAfter
-	folded := 0
-	for e := 0; e < epochs; e++ {
+	epochConfig := func(e int) StudyConfig {
 		ecfg := cfg
 		ecfg.Epochs = epochs
 		ecfg.Epoch = e
-		st, err := NewStudy(ecfg)
-		if err != nil {
-			return res, err
+		return ecfg
+	}
+	res := &LongitudinalResult{Config: cfg}
+	budget := opts.Stream.AbortAfter
+	folded := 0
+
+	// pending carries the prefetched next-epoch study. The drain below
+	// guarantees the builder goroutine never outlives this call, whatever
+	// exit path is taken.
+	type built struct {
+		st  *Study
+		err error
+	}
+	var pending chan built
+	defer func() {
+		if pending != nil {
+			<-pending
+		}
+	}()
+
+	var prevDelta *EpochDelta
+	for e := 0; e < epochs; e++ {
+		// The study-wide budget is checked BEFORE the epoch's study is
+		// constructed: a budget exhausted exactly at an epoch boundary
+		// aborts here with the completed epochs intact, instead of
+		// building the next epoch only to fold one extra record.
+		if budget > 0 && folded >= budget {
+			return res, fmt.Errorf("core: epoch %d: %w at the epoch boundary (study budget %d exhausted)", e, ErrAborted, budget)
+		}
+		ecfg := epochConfig(e)
+		var st *Study
+		if pending != nil {
+			b := <-pending
+			pending = nil
+			if b.err != nil {
+				return res, b.err
+			}
+			st = b.st
+		} else {
+			var err error
+			st, err = NewStudy(ecfg)
+			if err != nil {
+				return res, err
+			}
+		}
+		epochSteps := 0
+		for _, s := range st.Steps {
+			epochSteps += s
+		}
+		// Kick off the next epoch's universe while this one streams. The
+		// advance reads only the previous universe's immutable prototype
+		// state and the lock-guarded render cache, never anything the
+		// running crawl mutates. A budget that cannot outlast this epoch
+		// makes the next universe dead weight, so don't build it (the
+		// check ignores any resume credit — the rare skipped prefetch
+		// after a resume just falls back to NewStudy at the loop top).
+		if e+1 < epochs && !opts.SerialRebuild && (budget <= 0 || folded+epochSteps < budget) {
+			ch := make(chan built, 1)
+			pending = ch
+			go func(next StudyConfig, prev *Study) {
+				nst, err := NewStudyFrom(next, prev.Universe)
+				if err != nil {
+					err = fmt.Errorf("core: epoch %d: %w", next.Epoch, err)
+				}
+				ch <- built{nst, err}
+			}(epochConfig(e+1), st)
 		}
 		sopts := opts.Stream
 		sopts.Resume = nil
+		sopts.AbortAfter = 0
 		if sopts.CheckpointPath != "" {
 			sopts.CheckpointPath = fmt.Sprintf("%s.epoch%d", opts.Stream.CheckpointPath, e)
 			ck, err := LoadCheckpoint(sopts.CheckpointPath)
@@ -157,37 +234,42 @@ func RunLongitudinalStudy(cfg StudyConfig, opts LongitudinalOptions) (*Longitudi
 		if opts.DeltaDir != "" {
 			sopts.WriteDeltaPath = DeltaPath(opts.DeltaDir, e)
 			if e > 0 {
-				ck, err := LoadCheckpoint(DeltaPath(opts.DeltaDir, e-1))
-				if err != nil {
-					return res, fmt.Errorf("core: epoch %d: load prior delta: %w", e, err)
+				if prevDelta != nil && !opts.SerialRebuild {
+					// The previous epoch of this very process wrote the
+					// delta; hand it over in memory. The provenance checks
+					// ValidateDelta runs on loaded files hold trivially.
+					sopts.Preload = prevDelta
+				} else {
+					ck, err := LoadCheckpoint(DeltaPath(opts.DeltaDir, e-1))
+					if err != nil {
+						return res, fmt.Errorf("core: epoch %d: load prior delta: %w", e, err)
+					}
+					d, err := ck.ValidateDelta(ecfg)
+					if err != nil {
+						return res, fmt.Errorf("core: epoch %d: %w", e, err)
+					}
+					sopts.Preload = d
 				}
-				d, err := ck.ValidateDelta(ecfg)
-				if err != nil {
-					return res, fmt.Errorf("core: epoch %d: %w", e, err)
-				}
-				sopts.Preload = d
 			}
 		}
 		resumed := 0
 		if sopts.Resume != nil {
 			resumed = sopts.Resume.Records()
 		}
+		// Pass the budget down only when it can bind mid-epoch; an epoch
+		// that exactly exhausts the budget completes normally and the next
+		// boundary check above aborts the study.
 		if budget > 0 {
-			remaining := budget - folded
-			if remaining <= 0 {
-				remaining = 1
+			if remaining := budget - folded; remaining < epochSteps-resumed {
+				sopts.AbortAfter = remaining
 			}
-			sopts.AbortAfter = remaining
 		}
 		if err := st.RunStream(sopts); err != nil {
 			return res, fmt.Errorf("core: epoch %d: %w", e, err)
 		}
-		epochSteps := 0
-		for _, s := range st.Steps {
-			epochSteps += s
-		}
 		folded += epochSteps - resumed
 		res.Epochs = append(res.Epochs, OutcomeOf(st))
+		prevDelta = st.WrittenDelta
 	}
 	return res, nil
 }

@@ -198,6 +198,122 @@ func TestDeltaModeMatchesFullRecrawl(t *testing.T) {
 	}
 }
 
+// TestLongitudinalBudgetBoundaryAbort pins the abort-budget boundary
+// contract. Before the fix, a study-wide budget exhausted exactly at an
+// epoch boundary still constructed the next epoch and handed it
+// AbortAfter=1 (the old `remaining <= 0 → 1` clamp) — and a budget equal
+// to one epoch's steps even aborted INSIDE that epoch after its final
+// record. Now: the epoch that exactly exhausts the budget completes
+// normally and the runner aborts at the boundary before building the
+// next epoch's study; a budget covering the whole study never aborts.
+func TestLongitudinalBudgetBoundaryAbort(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	cfg := longitudinalConfig(6, 2)
+	cfg.Epochs = 2
+	base, err := RunLongitudinalStudy(cfg, LongitudinalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps0 := base.Epochs[0].Analysis.TotalCrawled
+	total := steps0 + base.Epochs[1].Analysis.TotalCrawled
+
+	reg := obs.NewRegistry()
+	mcfg := cfg
+	mcfg.Metrics = reg
+	res, err := RunLongitudinalStudy(mcfg, LongitudinalOptions{Stream: StreamOptions{AbortAfter: steps0}})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("boundary-exhausted budget: got %v, want ErrAborted", err)
+	}
+	if len(res.Epochs) != 1 {
+		t.Fatalf("boundary abort kept %d epochs, want exactly the 1 completed one", len(res.Epochs))
+	}
+	if !reflect.DeepEqual(res.Epochs[0].Analysis, base.Epochs[0].Analysis) {
+		t.Error("the budget-exhausting epoch was truncated; it must complete untouched")
+	}
+	if n := reg.Counter("stream.records").Value(); n != int64(steps0) {
+		t.Errorf("folded %d records under a %d budget — the boundary abort leaked folds into the next epoch", n, steps0)
+	}
+	if n := reg.Counter("study.universe.advanced").Value(); n != 0 {
+		t.Errorf("built %d next-epoch universes past an exhausted budget", n)
+	}
+
+	// A budget equal to the whole study is no abort at all.
+	full, err := RunLongitudinalStudy(cfg, LongitudinalOptions{Stream: StreamOptions{AbortAfter: total}})
+	if err != nil {
+		t.Fatalf("study-sized budget: %v", err)
+	}
+	if len(full.Epochs) != 2 {
+		t.Fatalf("study-sized budget completed %d epochs, want 2", len(full.Epochs))
+	}
+}
+
+// TestLongitudinalIncrementalInvariance pins the incremental fast path
+// three ways: (1) per-epoch outcomes are deeply equal to a SerialRebuild
+// run (from-scratch universes, no pipelining, disk-only deltas); (2) the
+// render-memo and universe-advance counters are schedule-invariant
+// across worker counts; (3) the fast path is non-vacuous — universes
+// advance instead of regenerating, and cross-epoch render reuse strictly
+// beats the rebuild path's hit/miss split.
+func TestLongitudinalIncrementalInvariance(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	watched := []string{
+		"web.render.hits", "web.render.misses", "web.render.uncached", "web.render.retired",
+		"study.universe.advanced", "study.universe.advance_fallback",
+	}
+	run := func(workers int, serial bool) (*LongitudinalResult, map[string]int64) {
+		t.Helper()
+		reg := obs.NewRegistry()
+		cfg := longitudinalConfig(8, workers)
+		cfg.Metrics = reg
+		res, err := RunLongitudinalStudy(cfg, LongitudinalOptions{DeltaDir: t.TempDir(), SerialRebuild: serial})
+		if err != nil {
+			t.Fatalf("workers=%d serial=%v: %v", workers, serial, err)
+		}
+		vals := map[string]int64{}
+		for _, c := range watched {
+			vals[c] = reg.Counter(c).Value()
+		}
+		return res, vals
+	}
+	fast1, cFast1 := run(1, false)
+	fast8, cFast8 := run(8, false)
+	slow1, cSlow1 := run(1, true)
+
+	for i := range fast1.Epochs {
+		if !reflect.DeepEqual(fast1.Epochs[i], slow1.Epochs[i]) {
+			t.Errorf("epoch %d: incremental outcome differs from serial rebuild", i)
+		}
+		if !reflect.DeepEqual(fast1.Epochs[i], fast8.Epochs[i]) {
+			t.Errorf("epoch %d: incremental outcome differs across worker counts", i)
+		}
+	}
+	if !reflect.DeepEqual(cFast1, cFast8) {
+		t.Errorf("render/advance counters are schedule-dependent:\nworkers=1: %v\nworkers=8: %v", cFast1, cFast8)
+	}
+	epochs := int64(len(fast1.Epochs))
+	if cFast1["study.universe.advanced"] != epochs-1 || cFast1["study.universe.advance_fallback"] != 0 {
+		t.Errorf("fast path advanced %d universes (fallback %d), want %d (0)",
+			cFast1["study.universe.advanced"], cFast1["study.universe.advance_fallback"], epochs-1)
+	}
+	if cSlow1["study.universe.advanced"] != 0 {
+		t.Errorf("serial rebuild advanced %d universes, want 0", cSlow1["study.universe.advanced"])
+	}
+	if cFast1["web.render.uncached"] != 0 || cSlow1["web.render.uncached"] != 0 {
+		t.Fatalf("render caches hit capacity (uncached fast=%d slow=%d) — hit/miss splits are no longer exact",
+			cFast1["web.render.uncached"], cSlow1["web.render.uncached"])
+	}
+	if cFast1["web.render.misses"] == 0 {
+		t.Error("no render misses at all — the counters are disconnected")
+	}
+	if cFast1["web.render.misses"] >= cSlow1["web.render.misses"] {
+		t.Errorf("incremental path rendered %d pages, serial rebuild %d — cross-epoch reuse is vacuous",
+			cFast1["web.render.misses"], cSlow1["web.render.misses"])
+	}
+	if cFast1["web.render.retired"] == 0 {
+		t.Error("no render caches retired despite churn — the retain pass is vacuous")
+	}
+}
+
 // TestLongitudinalSeriesAndRates sanity-checks the cross-epoch report
 // inputs: concatenated per-exchange series are monotone with the right
 // total, and the per-epoch malice-rate series has one point per epoch.

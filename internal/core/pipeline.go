@@ -43,6 +43,22 @@ type VerdictCache struct {
 	entries map[string]*cacheEntry
 	hits    atomic.Int64
 	misses  atomic.Int64
+	// keys memoizes verdictKey by record identity; see entryFor.
+	keysMu sync.RWMutex
+	keys   map[recordIdentity]string
+}
+
+// recordIdentity names a record by the exact inputs verdictKey consumes,
+// with the body taken by pointer+length instead of content. Served pages
+// share one rendered byte array across every fetch (the web package's
+// render cache), so equal identity implies equal bytes and therefore an
+// equal key. Memo keys pin their body arrays, so a recycled allocation
+// can never alias a stale identity.
+type recordIdentity struct {
+	entry, final, ctype string
+	redirects           int
+	body                *byte
+	n                   int
 }
 
 type cacheEntry struct {
@@ -58,7 +74,37 @@ type cacheEntry struct {
 
 // NewVerdictCache returns an empty cache.
 func NewVerdictCache() *VerdictCache {
-	return &VerdictCache{entries: make(map[string]*cacheEntry)}
+	return &VerdictCache{
+		entries: make(map[string]*cacheEntry),
+		keys:    make(map[recordIdentity]string),
+	}
+}
+
+// entryFor is entry() addressed by record instead of by precomputed key:
+// the key derivation — URL normalization plus an fnv pass over the whole
+// body — is memoized by recordIdentity, so rotation's re-crawls of the
+// same entry URL against the same shared body bytes hash the body once
+// instead of once per record. Records whose bodies bypass the render
+// cache get fresh arrays each serve, miss the memo and pay the full
+// derivation — slower, never wrong. Callers must ensure len(rec.Body)>0
+// (cacheable does).
+func (c *VerdictCache) entryFor(rec *crawler.Record) (*cacheEntry, bool) {
+	id := recordIdentity{rec.EntryURL, rec.FinalURL, rec.ContentType, rec.Redirects, &rec.Body[0], len(rec.Body)}
+	c.keysMu.RLock()
+	key, ok := c.keys[id]
+	c.keysMu.RUnlock()
+	if !ok {
+		key = verdictKey(rec)
+		c.keysMu.Lock()
+		// Capped like foldState.contentCats: past the limit the key is
+		// recomputed per record rather than letting the memo pin one body
+		// array per record when bodies bypass the render cache.
+		if len(c.keys) < identityMemoLimit {
+			c.keys[id] = key
+		}
+		c.keysMu.Unlock()
+	}
+	return c.entry(key)
 }
 
 // entry returns the cache slot for key, creating it if absent. The second
@@ -171,7 +217,7 @@ func (an *Analyzer) inspect(cache *VerdictCache, rec *crawler.Record) Verdict {
 		an.Metrics.Counter("pipeline.inspections").Inc()
 		return an.Detector.Inspect(*rec)
 	}
-	e, hit := cache.entry(verdictKey(rec))
+	e, hit := cache.entryFor(rec)
 	if hit {
 		// A preloaded entry's first lookup is charged as the miss the full
 		// run would have recorded; the CAS elects exactly one charger under

@@ -156,6 +156,13 @@ func (st *Study) RunStream(opts StreamOptions) error {
 		rec  crawler.Record
 		done chan recOutcome
 	}
+	// Jobs are pooled: after the aggregator has received a job's outcome
+	// and folded it, no other goroutine holds the job (the worker's last
+	// touch is the done send, which the fold strictly follows), so it is
+	// recycled — record copy, done channel and all. Jobs drained on the
+	// abort path skip the pool: their done channel may still hold an
+	// unconsumed outcome.
+	jobs := sync.Pool{New: func() any { return &streamJob{done: make(chan recOutcome, 1)} }}
 	scanQ := make(chan *streamJob, window)
 	orderQ := make(chan *streamJob, window)
 	stopC := make(chan struct{})
@@ -187,7 +194,8 @@ func (st *Study) RunStream(opts StreamOptions) error {
 			an.Metrics.Counter("stream.skipped").Inc()
 			return nil
 		}
-		j := &streamJob{ex: ei, rec: *rec, done: make(chan recOutcome, 1)}
+		j := jobs.Get().(*streamJob)
+		j.ex, j.rec = ei, *rec
 		select {
 		case scanQ <- j:
 		case <-stopC:
@@ -225,6 +233,7 @@ func (st *Study) RunStream(opts StreamOptions) error {
 		}
 		o := <-j.done
 		fs.fold(j.ex, &j.rec, o)
+		jobs.Put(j)
 		foldedThisRun++
 		an.Metrics.Counter("stream.records").Inc()
 		scanDepth.Set(int64(len(scanQ)))
@@ -276,6 +285,7 @@ func (st *Study) RunStream(opts StreamOptions) error {
 	st.Config.Metrics.Histogram("study.stream_seconds").Observe(time.Since(start).Seconds())
 
 	st.Analysis = fs.finish(cstats)
+	st.publishRenderMetrics()
 	if opts.WriteDeltaPath != "" {
 		delta := &EpochDelta{
 			Epoch:     st.Config.Epoch,
@@ -288,6 +298,7 @@ func (st *Study) RunStream(opts StreamOptions) error {
 		if err := WriteEpochDelta(opts.WriteDeltaPath, st.Config, delta); err != nil {
 			return err
 		}
+		st.WrittenDelta = delta
 	}
 	if opts.CheckpointPath != "" {
 		// The run is complete: a checkpoint now would only invite a

@@ -114,10 +114,25 @@ type Study struct {
 	Analyzer  *Analyzer
 	Crawls    []*crawler.Crawl
 	Analysis  *Analysis
+	// WrittenDelta holds the epoch delta RunStream wrote to
+	// StreamOptions.WriteDeltaPath, if any. The longitudinal runner
+	// preloads the next epoch from it directly, skipping the disk
+	// round-trip (the file stays authoritative for kill-resume).
+	WrittenDelta *EpochDelta
 }
 
 // NewStudy builds the universe, exchanges and detector without crawling.
-func NewStudy(cfg StudyConfig) (*Study, error) {
+func NewStudy(cfg StudyConfig) (*Study, error) { return NewStudyFrom(cfg, nil) }
+
+// NewStudyFrom is NewStudy with an optional previous epoch's universe.
+// When prev can advance to this config's epoch (same generation knobs,
+// epoch clock exactly one ahead), the universe is derived incrementally
+// via web.AdvanceEpoch — O(changed sites) instead of a full regeneration,
+// and render caches carry over — with output guaranteed identical to the
+// from-scratch build. Anything else falls back to GenerateEpoch. The
+// longitudinal runner and the fleet path thread prev through; single
+// studies pass nil and are unaffected.
+func NewStudyFrom(cfg StudyConfig, prev *web.Universe) (*Study, error) {
 	if cfg.Scale <= 0 {
 		return nil, fmt.Errorf("core: scale must be positive, got %d", cfg.Scale)
 	}
@@ -167,7 +182,16 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 	ucfg.Seed = cfg.Seed
 	ucfg.BenignSites = totalBenign + totalBenign/10 + 20
 	ucfg.MaliciousSites = totalMal + totalMal/10 + 12
-	universe := web.GenerateEpoch(ucfg, cfg.epochParams())
+	var universe *web.Universe
+	if prev != nil && prev.CanAdvance(ucfg, cfg.epochParams()) {
+		universe = prev.AdvanceEpoch()
+		cfg.Metrics.Counter("study.universe.advanced").Inc()
+	} else {
+		universe = web.GenerateEpoch(ucfg, cfg.epochParams())
+		if prev != nil {
+			cfg.Metrics.Counter("study.universe.advance_fallback").Inc()
+		}
+	}
 
 	rng := simrand.New(cfg.Seed).Sub("study")
 	// Epoch 0 keeps the original pool substream (goldens); later epochs
@@ -248,7 +272,26 @@ func (st *Study) Run() error {
 	if secs := crawlWall.Seconds(); secs > 0 && st.Config.Metrics != nil {
 		st.Config.Metrics.Gauge("study.crawl_urls_per_sec").Set(int64(float64(st.Analysis.TotalCrawled) / secs))
 	}
+	st.publishRenderMetrics()
 	return nil
+}
+
+// publishRenderMetrics drains the universe's render-cache counters into
+// the obs registry. Only called at deterministic completion points (end
+// of a batch run, end of a stream run, end of a fleet merge) — never on
+// abort paths, where the number of pages served so far is
+// schedule-dependent. While no page cache hits capacity (uncached == 0)
+// the hit/miss split is exact and worker-count-invariant, so the metrics
+// invariance tests may compare these counters byte-for-byte.
+func (st *Study) publishRenderMetrics() {
+	if st.Config.Metrics == nil {
+		return
+	}
+	hits, misses, uncached, retired := st.Universe.DrainRenderCounters()
+	st.Config.Metrics.Counter("web.render.hits").Add(hits)
+	st.Config.Metrics.Counter("web.render.misses").Add(misses)
+	st.Config.Metrics.Counter("web.render.uncached").Add(uncached)
+	st.Config.Metrics.Counter("web.render.retired").Add(retired)
 }
 
 // transport assembles the crawl-path transport: the virtual internet,

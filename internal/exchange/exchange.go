@@ -382,16 +382,18 @@ func (e *Exchange) pick(rng *simrand.Source, progress float64) Step {
 }
 
 // pickPage chooses among a site's pages; shortened entries are always the
-// alias itself.
+// alias itself. The page is picked by index and only the chosen URL is
+// materialized — building every page URL per step (site.PageURLs) showed
+// up as one of the crawl loop's top allocation sites. rng consumption is
+// identical either way: one Intn over the same length.
 func (e *Exchange) pickPage(rng *simrand.Source, site *web.Site) string {
 	if site.Kind == web.ShortenedMalicious {
 		return site.EntryURL
 	}
-	urls := site.PageURLs()
-	if len(urls) == 0 {
+	if len(site.Pages) == 0 {
 		return site.EntryURL
 	}
-	return simrand.Pick(rng, urls)
+	return "http://" + site.Host + simrand.Pick(rng, site.Pages)
 }
 
 // densityAt returns the malicious density at a timeline position,

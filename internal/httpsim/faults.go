@@ -284,6 +284,11 @@ func (f *FaultInjector) RoundTrip(req *Request) (*Response, error) {
 		f.record(kind)
 		out.DeclaredLength = len(out.Body)
 		out.Body = out.Body[:len(out.Body)/2]
+		// The precomputed meta-refresh no longer describes the (now
+		// partial) body. The client rejects truncated responses before
+		// consulting it, but keep the invariant local: altered body,
+		// cleared stamp.
+		out.MetaRefresh, out.MetaRefreshKnown = "", false
 	case FaultSlow:
 		f.record(kind)
 		penalty := f.SlowPenalty

@@ -67,6 +67,14 @@ type Response struct {
 	// surfaces that as ErrTruncated instead of handing partial content to
 	// the analysis pipeline.
 	DeclaredLength int
+	// MetaRefresh / MetaRefreshKnown let a server that renders a body once
+	// and shares it across many responses (the web package's page cache)
+	// precompute the meta-refresh extraction: when MetaRefreshKnown is
+	// true, MetaRefresh holds exactly what Client.MetaRefreshTarget would
+	// return for Body, and the client skips re-scanning an unchanged body
+	// on every fetch. Anything that alters Body must clear the flag.
+	MetaRefresh      string
+	MetaRefreshKnown bool
 }
 
 // Truncated reports whether the body arrived shorter than declared.
@@ -292,7 +300,11 @@ func (c *Client) Do(url, userAgent, referrer string, attempt int) (*Result, erro
 			next = resolveRef(norm, resp.Location)
 			h.Kind = "http"
 		case c.FollowMetaRefresh && c.MetaRefreshTarget != nil && isHTML(resp.ContentType):
-			if target := c.MetaRefreshTarget(resp.Body); target != "" {
+			target := resp.MetaRefresh
+			if !resp.MetaRefreshKnown {
+				target = c.MetaRefreshTarget(resp.Body)
+			}
+			if target != "" {
 				next = resolveRef(norm, target)
 				h.Kind = "meta"
 			}

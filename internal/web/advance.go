@@ -1,0 +1,200 @@
+package web
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/httpsim"
+	"repro/internal/simrand"
+)
+
+// Incremental epoch advance. GenerateEpoch at epoch N replays the churn
+// substreams 1..N over a freshly generated base population, so an N-epoch
+// longitudinal study pays O(N²) churn work and re-renders every page of
+// every universe. Both costs are avoidable because simrand substreams are
+// STATELESS: Sub(name) depends only on the root seed and the name, never
+// on how much of the parent stream was consumed. Epoch N's universe is
+// therefore a pure function of (cfg, N), and epoch N+1 differs from it
+// only by the "churn:N+1" pass plus the layers derived downstream of it
+// (site index, shortener aliases, intel). AdvanceEpoch exploits that: it
+// clones the post-churn site prototypes, applies ONLY the next churn
+// pass, and rebuilds the cheap derived layers — bit-identical to a
+// from-scratch GenerateEpoch by construction (the equivalence oracle in
+// advance_test.go checks this across seeds × epochs × churn rates).
+
+// CanAdvance reports whether AdvanceEpoch on this universe reproduces
+// GenerateEpoch(cfg, ep) exactly: same generation config, and ep is this
+// universe's epoch clock advanced by one (identical churn fraction, lag
+// and decay — churn history is only prefix-stable along one parameter
+// trajectory).
+func (u *Universe) CanAdvance(cfg Config, ep EpochParams) bool {
+	next := u.Epoch
+	next.Epoch++
+	return u.cfg == cfg && next == ep
+}
+
+// AdvanceEpoch derives the next epoch's universe from this one by
+// applying only the epoch N→N+1 churn pass to the cloned site prototypes
+// and rebuilding the derived layers (registration, shortener aliases,
+// intel). The two universes share nothing mutable except the render
+// cache, so the previous epoch's crawl may still be running while the
+// next universe is assembled — that is what makes epoch pipelining in
+// the longitudinal runner safe. Callers guard with CanAdvance.
+func (u *Universe) AdvanceEpoch() *Universe {
+	ep := u.Epoch
+	ep.Epoch++
+	rng := simrand.New(u.cfg.Seed)
+	ordered := cloneSites(u.protoSites)
+	used := cloneStringSet(u.protoUsed)
+	changed := applyChurn(rng, ep, ep.Epoch, ordered, used)
+	next := assembleUniverse(u.cfg, ep, rng, ordered, used, changed, u.renders)
+
+	// Retire render cache entries for hosts the churn pass replaced:
+	// churned domains are never reused, so their caches can only leak.
+	// Handlers of still-live universes hold their pageCache pointers
+	// directly and are unaffected.
+	live := make(map[string]bool, len(next.Sites)*2)
+	for _, s := range next.Sites {
+		live[s.Host] = true
+		if s.Kind == Redirector {
+			live[landingHostForHost(s.Host)] = true
+		}
+	}
+	u.renders.retain(live)
+	return next
+}
+
+// cloneSites deep-copies site prototypes: struct copy plus a private
+// Identities slice (churn appends to it), sharing the immutable Pages
+// slice and all strings.
+func cloneSites(sites []*Site) []*Site {
+	out := make([]*Site, len(sites))
+	for i, s := range sites {
+		c := *s
+		if len(s.Identities) > 0 {
+			c.Identities = append([]SiteIdentity(nil), s.Identities...)
+		}
+		out[i] = &c
+	}
+	return out
+}
+
+func cloneStringSet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// renderStats counts render-cache traffic across every pageCache hanging
+// off one RenderCache. All fields are atomics: serves happen on crawl
+// goroutines while the next epoch's universe registers hosts.
+//
+// Determinism contract: while no cache is at capacity, misses equals the
+// number of distinct (host, path, bot) keys ever rendered-and-inserted
+// and hits equals serves minus misses — both independent of worker count
+// and scheduling, so tests may assert them exactly. A render that loses
+// an insert race counts as a hit (the bytes are identical; only the
+// winner's insert is the miss). Once a cache fills, uncached counts the
+// renders that found no slot; WHICH keys got slots is then
+// schedule-dependent, so a nonzero uncached is the tell that hit/miss
+// splits are no longer exact.
+type renderStats struct {
+	hits     atomic.Int64
+	misses   atomic.Int64
+	uncached atomic.Int64
+	retired  atomic.Int64
+}
+
+// RenderCache memoizes rendered responses across the epochs of a
+// longitudinal chain. Responses are pure functions of (host, path,
+// bot-variant): every handler derives a fresh per-(host, path) substream
+// from the root seed, and a hostname is never reused across identities
+// (churned domains are retired permanently), so a host key IS a site
+// identity key and an entry cached at epoch N serves identical bytes at
+// every later epoch the host is still live. GenerateEpoch creates a
+// fresh cache; AdvanceEpoch threads the previous epoch's cache through,
+// which is where the cross-epoch render reuse comes from.
+type RenderCache struct {
+	stats renderStats
+	mu    sync.Mutex
+	sites map[string]*pageCache
+	// bridge serves all redirect-bridge hosts, keyed by full request URL
+	// (bridge responses are pure functions of the URL, across epochs too).
+	bridge *pageCache
+
+	// drained tracks what DrainCounters has already handed out.
+	drainMu sync.Mutex
+	drained [4]int64
+}
+
+// bridgeCacheLimit bounds the shared redirect-bridge cache. Stale chain
+// URLs from churned-away redirectors stay until the cap is reached —
+// bounded waste, traded for never invalidating a pure function's memo.
+const bridgeCacheLimit = 4096
+
+// NewRenderCache returns an empty render cache.
+func NewRenderCache() *RenderCache {
+	rc := &RenderCache{sites: make(map[string]*pageCache)}
+	rc.bridge = rc.newCache(bridgeCacheLimit)
+	return rc
+}
+
+func (rc *RenderCache) newCache(limit int) *pageCache {
+	return &pageCache{
+		limit: limit,
+		stats: &rc.stats,
+		user:  make(map[string]*httpsim.Response),
+		bot:   make(map[string]*httpsim.Response),
+	}
+}
+
+// site returns the page cache for host, creating it on first use. Called
+// once per host per universe assembly, never on the serve path.
+func (rc *RenderCache) site(host string) *pageCache {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	c, ok := rc.sites[host]
+	if !ok {
+		c = rc.newCache(sitePageCacheLimit)
+		rc.sites[host] = c
+	}
+	return c
+}
+
+// retain drops the per-host caches of hosts absent from live.
+func (rc *RenderCache) retain(live map[string]bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for h := range rc.sites {
+		if !live[h] {
+			delete(rc.sites, h)
+			rc.stats.retired.Add(1)
+		}
+	}
+}
+
+// DrainCounters returns the render-cache counter increments since the
+// previous call: cache hits, misses (first renders that won their
+// insert), uncached renders (capacity exhausted) and retired host
+// caches. The longitudinal runner drains after each epoch's crawl — a
+// deterministic point — and feeds the deltas to the obs registry.
+func (rc *RenderCache) DrainCounters() (hits, misses, uncached, retired int64) {
+	rc.drainMu.Lock()
+	defer rc.drainMu.Unlock()
+	totals := [4]int64{rc.stats.hits.Load(), rc.stats.misses.Load(), rc.stats.uncached.Load(), rc.stats.retired.Load()}
+	hits = totals[0] - rc.drained[0]
+	misses = totals[1] - rc.drained[1]
+	uncached = totals[2] - rc.drained[2]
+	retired = totals[3] - rc.drained[3]
+	rc.drained = totals
+	return hits, misses, uncached, retired
+}
+
+// DrainRenderCounters drains the universe's render-cache counters; see
+// RenderCache.DrainCounters. Universes advanced from one another share a
+// cache, so draining through any of them advances the same marks.
+func (u *Universe) DrainRenderCounters() (hits, misses, uncached, retired int64) {
+	return u.renders.DrainCounters()
+}

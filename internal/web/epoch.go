@@ -60,14 +60,16 @@ func (s *Site) IdentityAt(epoch int) SiteIdentity {
 	return out
 }
 
-// applyChurn runs the per-epoch re-registration passes 1..ep.Epoch over
-// the constructed (but not yet registered) site list. Each pass draws from
-// its own substream, after every base-generation draw, so epoch N's
-// universe extends epoch N-1's history without disturbing it — and epoch 0
-// draws nothing at all. Returns the sites whose identity changed in the
-// final pass, i.e. between epoch N-1 and epoch N.
-func applyChurn(rng *simrand.Source, ep EpochParams, sites []*Site, used map[string]bool) []*Site {
-	for k := 1; k <= ep.Epoch; k++ {
+// applyChurn runs the per-epoch re-registration passes fromPass..ep.Epoch
+// over the constructed (but not yet registered) site list. Each pass draws
+// from its own stateless substream, so epoch N's universe extends epoch
+// N-1's history without disturbing it — and epoch 0 draws nothing at all.
+// A from-scratch build passes fromPass 1; the incremental AdvanceEpoch
+// passes fromPass == ep.Epoch, applying only the newest pass to prototypes
+// that already embed passes 1..Epoch-1. Returns the sites whose identity
+// changed in the final pass, i.e. between epoch N-1 and epoch N.
+func applyChurn(rng *simrand.Source, ep EpochParams, fromPass int, sites []*Site, used map[string]bool) []*Site {
+	for k := fromPass; k <= ep.Epoch; k++ {
 		churnRng := rng.Sub(fmt.Sprintf("churn:%d", k))
 		for _, s := range sites {
 			if s.Kind == Benign || !churnRng.Bool(ep.ChurnFrac) {

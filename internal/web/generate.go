@@ -105,24 +105,22 @@ func Generate(cfg Config) *Universe {
 // the intel layer is built from the identities of epoch Epoch-BlacklistLag.
 // Site registration itself draws nothing, so a zero EpochParams yields a
 // universe bit-identical to Generate's pre-longitudinal output.
+//
+// A longitudinal chain only needs the from-scratch path once: epoch N+1's
+// universe is reachable from epoch N's via the incremental AdvanceEpoch
+// (see advance.go), which skips the O(N) churn replay and shares the
+// render cache.
 func GenerateEpoch(cfg Config, ep EpochParams) *Universe {
 	rng := simrand.New(cfg.Seed)
-	u := &Universe{
-		Internet:      httpsim.NewInternet(),
-		Shorteners:    shortener.NewRegistry(),
-		Feed:          scanner.NewThreatFeed(),
-		PopularHosts:  make(map[string]bool),
-		Epoch:         ep,
-		byKind:        make(map[MaliceKind][]*Site),
-		siteByDomain:  make(map[string]*Site),
-		truthByDomain: make(map[string]MaliceKind),
-		truthByEntry:  make(map[string]*Site),
-	}
+	ordered, used := basePopulation(cfg, rng)
+	changed := applyChurn(rng, ep, 1, ordered, used)
+	return assembleUniverse(cfg, ep, rng, ordered, used, changed, NewRenderCache())
+}
 
-	ctx := u.registerInfrastructure(rng.Sub("infra"))
-	u.registerPopularSites(rng.Sub("popular"))
-	shortSvcs := u.registerShorteners()
-
+// basePopulation generates the epoch-zero site prototypes in their fixed
+// order. Every draw comes from a named substream of rng, so the result is
+// independent of what else has been drawn from rng itself.
+func basePopulation(cfg Config, rng *simrand.Source) ([]*Site, map[string]bool) {
 	nameRng := rng.Sub("names")
 	used := map[string]bool{}
 
@@ -171,11 +169,40 @@ func GenerateEpoch(cfg Config, ep EpochParams) *Universe {
 			ordered = append(ordered, s)
 		}
 	}
+	return ordered, used
+}
 
-	// Domain churn: epochs 1..N re-register malicious sites before any of
-	// them is registered or indexed, so the maps below only ever see the
-	// epoch's live identities.
-	u.ChangedSites = applyChurn(rng, ep, ordered, used)
+// assembleUniverse builds a Universe from post-churn site prototypes: the
+// shared tail of GenerateEpoch and AdvanceEpoch. ordered has had the churn
+// passes applied but not the shortener aliasing; every draw below comes
+// from a named substream, so the bytes are identical whichever entry point
+// produced the prototypes.
+func assembleUniverse(cfg Config, ep EpochParams, rng *simrand.Source, ordered []*Site, used map[string]bool, changed []*Site, renders *RenderCache) *Universe {
+	u := &Universe{
+		Internet:      httpsim.NewInternet(),
+		Shorteners:    shortener.NewRegistry(),
+		Feed:          scanner.NewThreatFeed(),
+		PopularHosts:  make(map[string]bool),
+		Epoch:         ep,
+		ChangedSites:  changed,
+		cfg:           cfg,
+		renders:       renders,
+		byKind:        make(map[MaliceKind][]*Site),
+		siteByDomain:  make(map[string]*Site),
+		truthByDomain: make(map[string]MaliceKind),
+		truthByEntry:  make(map[string]*Site),
+	}
+
+	ctx := u.registerInfrastructure(rng.Sub("infra"))
+	u.registerPopularSites(rng.Sub("popular"))
+	shortSvcs := u.registerShorteners()
+
+	// Prototype snapshot for AdvanceEpoch: the post-churn, pre-shorten
+	// site state (the aliasing below mutates EntryURLs) plus every domain
+	// ever drawn (churned hosts must never be re-drawn).
+	u.protoSites = cloneSites(ordered)
+	u.protoUsed = cloneStringSet(used)
+
 	for _, s := range ordered {
 		u.addSite(s)
 	}
@@ -284,23 +311,18 @@ func (u *Universe) addSite(s *Site) {
 // fault injector degrades a copy and truncates by reslicing).
 type pageCache struct {
 	limit int
+	// stats aggregates traffic into the owning RenderCache's counters;
+	// see the renderStats determinism contract in advance.go.
+	stats *renderStats
 	mu    sync.RWMutex
 	user  map[string]*httpsim.Response
 	bot   map[string]*httpsim.Response
 }
 
-func newPageCache(limit int) *pageCache {
-	return &pageCache{
-		limit: limit,
-		user:  make(map[string]*httpsim.Response),
-		bot:   make(map[string]*httpsim.Response),
-	}
-}
-
 // serve returns the memoized response for (key, bot), rendering and
 // (capacity permitting) caching on miss. Renders are deterministic, so a
 // concurrent double-render produces identical bytes and either copy may
-// win the insert race.
+// win the insert race; only the winner's insert counts as the miss.
 func (c *pageCache) serve(key string, bot bool, render func() *httpsim.Response) *httpsim.Response {
 	m := c.user
 	if bot {
@@ -311,13 +333,26 @@ func (c *pageCache) serve(key string, bot bool, render func() *httpsim.Response)
 	c.mu.RUnlock()
 	if tmpl == nil {
 		tmpl = render()
+		// Stamp the meta-refresh extraction on the template while it is
+		// still private: once published under the lock, concurrent serves
+		// shallow-copy it and a late write would race. The stamp turns the
+		// client's per-fetch body scan into a field read for every serve
+		// of this render (see httpsim.Response.MetaRefresh).
+		tmpl.MetaRefresh = MetaRefreshTarget(tmpl.Body)
+		tmpl.MetaRefreshKnown = true
 		c.mu.Lock()
 		if cached, ok := m[key]; ok {
 			tmpl = cached
+			c.stats.hits.Add(1)
 		} else if len(m) < c.limit {
 			m[key] = tmpl
+			c.stats.misses.Add(1)
+		} else {
+			c.stats.uncached.Add(1)
 		}
 		c.mu.Unlock()
+	} else {
+		c.stats.hits.Add(1)
 	}
 	out := *tmpl
 	return &out
@@ -328,12 +363,14 @@ func (c *pageCache) serve(key string, bot bool, render func() *httpsim.Response)
 // which answer on any path.
 const sitePageCacheLimit = 128
 
-// registerSiteHandlers installs an httpsim handler per site.
+// registerSiteHandlers installs an httpsim handler per site. Page caches
+// come from the universe's RenderCache keyed by host, so a host carried
+// over from the previous epoch keeps its rendered pages.
 func (u *Universe) registerSiteHandlers(rng *simrand.Source, ctx renderCtx) {
 	bridges := u.bridgeHosts()
 	for _, site := range u.Sites {
 		s := site
-		cache := newPageCache(sitePageCacheLimit)
+		cache := u.renders.site(s.Host)
 		u.Internet.Register(s.Host, func(req *httpsim.Request) *httpsim.Response {
 			return u.serveSite(s, req, rng, ctx, bridges, cache)
 		})
@@ -414,17 +451,14 @@ func landingHostForHost(host string) string {
 
 func (u *Universe) registerLandingHost(s *Site, rng *simrand.Source, ctx renderCtx) {
 	host := landingHostFor(s)
-	pageRng := rng.Sub("landing:" + host)
-	// The landing page ignores the request entirely, so render once on
-	// first hit and serve copies of the template after that.
-	var once sync.Once
-	var tmpl *httpsim.Response
+	// The landing page ignores the request entirely, so one cache slot
+	// serves every path; a fresh per-render substream keeps the render a
+	// pure function of the host, reusable across epochs like any page.
+	cache := u.renders.site(host)
 	u.Internet.Register(host, func(req *httpsim.Request) *httpsim.Response {
-		once.Do(func() {
-			tmpl = httpsim.HTML(renderLandingPage(s, pageRng, ctx))
+		return cache.serve("/", false, func() *httpsim.Response {
+			return httpsim.HTML(renderLandingPage(s, rng.Sub("landing:"+host), ctx))
 		})
-		out := *tmpl
-		return &out
 	})
 	u.truthByDomain[urlutil.RegisteredDomain(host)] = Redirector
 }
@@ -515,8 +549,9 @@ func (u *Universe) registerInfrastructure(rng *simrand.Source) renderCtx {
 
 	// Redirect bridges: parse ?next= and forward by 302 or meta refresh.
 	// Bridge responses are pure functions of the request URL, so one
-	// bounded cache serves all six bridge hosts.
-	bridgeCache := newPageCache(4096)
+	// bounded cache — shared across epochs via the RenderCache — serves
+	// all six bridge hosts.
+	bridgeCache := u.renders.bridge
 	bridge := func(req *httpsim.Request) *httpsim.Response {
 		return bridgeCache.serve(req.URL, false, func() *httpsim.Response {
 			return bridgeRespond(req)

@@ -167,6 +167,18 @@ type Universe struct {
 	// whose content digest disagrees — the verdict key enforces that).
 	ChangedSites []*Site
 
+	// cfg is the generation config, kept for AdvanceEpoch (the next
+	// epoch must be generated from exactly the same knobs).
+	cfg Config
+	// protoSites / protoUsed snapshot the post-churn, pre-shorten site
+	// prototypes and the full drawn-domain set — the state AdvanceEpoch
+	// clones to apply only the next churn pass. Immutable once set.
+	protoSites []*Site
+	protoUsed  map[string]bool
+	// renders memoizes rendered pages, shared along an AdvanceEpoch chain
+	// so unchurned hosts keep their rendered bytes across epochs.
+	renders *RenderCache
+
 	byKind map[MaliceKind][]*Site
 	// truthByDomain maps registered domain -> planted kind, for
 	// infrastructure hosts too.
